@@ -1,0 +1,196 @@
+//! Hierarchy-aware collective algorithm selection.
+//!
+//! The paper's §I cites hierarchy-aware collectives (refs. \[5\]-\[7\]) as a
+//! prime consumer of topology knowledge. Given a measured
+//! [`MachineProfile`], this module predicts the completion time of each
+//! broadcast algorithm *using only profile data* (per-layer latencies and
+//! the measured contention sweep) and picks the winner. The test suite
+//! then verifies the pick against the ground-truth virtual cluster.
+
+use crate::aggregation::slowdown_at;
+use serde::{Deserialize, Serialize};
+use servet_core::profile::MachineProfile;
+pub use servet_net::collectives::BcastAlgorithm;
+
+/// Predicted cost of one algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BcastPrediction {
+    /// The algorithm.
+    pub algorithm: BcastAlgorithm,
+    /// Predicted completion time, µs.
+    pub predicted_us: f64,
+}
+
+/// Predicted latency between two cores from the profile, with a large
+/// penalty for unmeasured pairs.
+fn latency(profile: &MachineProfile, a: usize, b: usize, size: usize) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    profile.latency_us(a, b, size).unwrap_or(1e6)
+}
+
+/// Slowdown estimate for `n` concurrent messages on the layer of `(a, b)`.
+fn slowdown(profile: &MachineProfile, a: usize, b: usize, n: usize) -> f64 {
+    let Some(comm) = profile.communication.as_ref() else {
+        return 1.0;
+    };
+    match comm.layer_of(a, b) {
+        Some(layer) => slowdown_at(comm, layer, n),
+        None => 1.0,
+    }
+}
+
+/// Predict the completion time of `algo` broadcasting `size` bytes from
+/// core 0 to cores `0..ranks` (identity rank→core mapping).
+pub fn predict_broadcast_us(
+    profile: &MachineProfile,
+    algo: BcastAlgorithm,
+    ranks: usize,
+    size: usize,
+) -> f64 {
+    assert!(ranks >= 1 && ranks <= profile.total_cores);
+    match algo {
+        BcastAlgorithm::Flat => (1..ranks).map(|r| latency(profile, 0, r, size)).sum(),
+        BcastAlgorithm::BinomialTree => {
+            binomial_rounds(&(0..ranks).collect::<Vec<_>>(), profile, size)
+        }
+        BcastAlgorithm::Hierarchical => {
+            let per_node = profile.cores_per_node.max(1);
+            let nodes: Vec<Vec<usize>> = (0..ranks)
+                .fold(Vec::new(), |mut acc: Vec<Vec<usize>>, r| {
+                    let node = r / per_node;
+                    if acc.len() <= node {
+                        acc.push(Vec::new());
+                    }
+                    acc[node].push(r);
+                    acc
+                });
+            let leaders: Vec<usize> = nodes.iter().map(|g| g[0]).collect();
+            let inter = binomial_rounds(&leaders, profile, size);
+            let intra = nodes
+                .iter()
+                .map(|g| binomial_rounds(g, profile, size))
+                .fold(0.0, f64::max);
+            inter + intra
+        }
+    }
+}
+
+/// Cost of a binomial tree over the given cores: each round's concurrent
+/// messages cost the slowest one, adjusted by the measured contention at
+/// that round's message count.
+fn binomial_rounds(cores: &[usize], profile: &MachineProfile, size: usize) -> f64 {
+    let n = cores.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut have = 1usize;
+    while have < n {
+        let senders = have.min(n - have);
+        let round: f64 = (0..senders)
+            .map(|i| {
+                let (a, b) = (cores[i], cores[have + i]);
+                latency(profile, a, b, size) * slowdown(profile, a, b, senders)
+            })
+            .fold(0.0, f64::max);
+        total += round;
+        have += senders;
+    }
+    total
+}
+
+/// Pick the algorithm with the lowest predicted time; returns all
+/// predictions, best first.
+pub fn select_broadcast(
+    profile: &MachineProfile,
+    ranks: usize,
+    size: usize,
+) -> Vec<BcastPrediction> {
+    let mut preds: Vec<BcastPrediction> = BcastAlgorithm::all()
+        .into_iter()
+        .map(|algorithm| BcastPrediction {
+            algorithm,
+            predicted_us: predict_broadcast_us(profile, algorithm, ranks, size),
+        })
+        .collect();
+    preds.sort_by(|a, b| a.predicted_us.total_cmp(&b.predicted_us));
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servet_core::suite::{run_full_suite, SuiteConfig};
+    use servet_core::SimPlatform;
+    use servet_net::collectives::broadcast_time_us;
+
+    fn profile() -> MachineProfile {
+        let mut p = SimPlatform::tiny_cluster().with_noise(0.003);
+        let cfg = SuiteConfig {
+            skip_shared: true,
+            skip_memory: true,
+            ..SuiteConfig::small(256 * 1024)
+        };
+        run_full_suite(&mut p, &cfg).profile
+    }
+
+    #[test]
+    fn flat_is_sum_binomial_is_less() {
+        let prof = profile();
+        let flat = predict_broadcast_us(&prof, BcastAlgorithm::Flat, 8, 8 * 1024);
+        let tree = predict_broadcast_us(&prof, BcastAlgorithm::BinomialTree, 8, 8 * 1024);
+        assert!(tree < flat, "tree {tree} vs flat {flat}");
+    }
+
+    #[test]
+    fn selection_orders_predictions() {
+        let prof = profile();
+        let preds = select_broadcast(&prof, 8, 8 * 1024);
+        assert_eq!(preds.len(), 3);
+        assert!(preds.windows(2).all(|w| w[0].predicted_us <= w[1].predicted_us));
+    }
+
+    #[test]
+    fn predicted_winner_wins_on_ground_truth() {
+        // The profile-driven pick must match (or tie within 10 %) the
+        // empirically best algorithm on the actual virtual cluster.
+        let prof = profile();
+        let pick = select_broadcast(&prof, 8, 8 * 1024)[0].algorithm;
+        let mut best = (BcastAlgorithm::Flat, f64::INFINITY);
+        let mut picked_time = f64::INFINITY;
+        for algo in BcastAlgorithm::all() {
+            let mut cluster = servet_net::presets::tiny_cluster();
+            let t = broadcast_time_us(&mut cluster, algo, 8, 8 * 1024);
+            if t < best.1 {
+                best = (algo, t);
+            }
+            if algo == pick {
+                picked_time = t;
+            }
+        }
+        assert!(
+            picked_time <= best.1 * 1.10,
+            "picked {pick:?} at {picked_time}, best {best:?}"
+        );
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let prof = profile();
+        for algo in BcastAlgorithm::all() {
+            assert_eq!(predict_broadcast_us(&prof, algo, 1, 1024), 0.0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_wins_across_nodes_for_small_messages() {
+        let prof = profile();
+        // All 8 cores span two nodes; the hierarchical tree should not
+        // lose to the flat broadcast.
+        let hier = predict_broadcast_us(&prof, BcastAlgorithm::Hierarchical, 8, 4 * 1024);
+        let flat = predict_broadcast_us(&prof, BcastAlgorithm::Flat, 8, 4 * 1024);
+        assert!(hier < flat);
+    }
+}

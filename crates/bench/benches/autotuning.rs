@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the autotuning consumers: how much a user
+//! pays at run time to exploit a Servet profile.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use servet_autotune::placement::{CommPattern, Placer};
+use servet_autotune::tiling::select_tile;
+use servet_core::profile::MachineProfile;
+use servet_core::suite::{run_full_suite, SuiteConfig};
+use servet_core::SimPlatform;
+
+fn measured_profile() -> MachineProfile {
+    let mut platform = SimPlatform::tiny_cluster().with_noise(0.0);
+    let config = SuiteConfig {
+        skip_shared: true,
+        skip_memory: true,
+        ..SuiteConfig::small(256 * 1024)
+    };
+    run_full_suite(&mut platform, &config).profile
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let profile = measured_profile();
+    let placer = Placer::new(&profile);
+    let pattern = CommPattern::shift(8, 4, 8 * 1024);
+    let mut group = c.benchmark_group("placement");
+    group.bench_function("cost_eval", |b| {
+        let mapping: Vec<usize> = (0..8).collect();
+        b.iter(|| black_box(placer.cost(&pattern, &mapping)));
+    });
+    group.bench_function("greedy_8_ranks", |b| {
+        b.iter(|| black_box(placer.greedy(&pattern)));
+    });
+    for iters in [500usize, 2000] {
+        group.bench_with_input(
+            BenchmarkId::new("anneal", iters),
+            &iters,
+            |b, &iters| {
+                b.iter(|| black_box(placer.anneal(&pattern, 5, iters)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tile_selection(c: &mut Criterion) {
+    let profile = measured_profile();
+    c.bench_function("tiling/select_tile", |b| {
+        b.iter(|| black_box(select_tile(&profile, 2, 8, 3, 0.75)));
+    });
+}
+
+fn bench_profile_queries(c: &mut Criterion) {
+    let profile = measured_profile();
+    let mut group = c.benchmark_group("profile");
+    group.bench_function("latency_query", |b| {
+        b.iter(|| black_box(profile.latency_us(0, 5, 4096)));
+    });
+    group.bench_function("json_round_trip", |b| {
+        b.iter(|| {
+            let json = profile.to_json();
+            black_box(MachineProfile::from_json(&json).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement,
+    bench_tile_selection,
+    bench_profile_queries
+);
+criterion_main!(benches);

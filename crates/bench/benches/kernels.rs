@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the suite's computational kernels: the
+//! statistics the detection algorithms lean on, and the probabilistic
+//! cache-size fit itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use servet_core::cache_detect::{
+    predicted_miss_rate, probabilistic_size, CandidateGrid, MissRateModel,
+};
+use servet_stats::binomial::Binomial;
+use servet_stats::cluster::cluster_by_tolerance;
+use servet_stats::gradient::{find_peaks, gradient};
+use servet_stats::groups::groups_from_pairs;
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sf");
+    for &np in &[256u64, 4096, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, &np| {
+            let dist = Binomial::new(np, 8.0 * 4096.0 / (2.0 * 1024.0 * 1024.0));
+            b.iter(|| black_box(dist.sf(black_box(8))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_miss_rate_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicted_miss_rate");
+    for model in [MissRateModel::SizeBiased, MissRateModel::PaperApprox] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model:?}")),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    black_box(predicted_miss_rate(
+                        black_box(3072),
+                        black_box(1.0 / 128.0),
+                        black_box(24),
+                        model,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_probabilistic_fit(c: &mut Criterion) {
+    // A realistic Dempsey-like window: 10 samples, full default grid.
+    let page = 4096usize;
+    let true_k = 8usize;
+    let p = (true_k * page) as f64 / (2.0 * 1024.0 * 1024.0);
+    let sizes: Vec<usize> = (1..=10).map(|i| i * 512 * 1024).collect();
+    let cycles: Vec<f64> = sizes
+        .iter()
+        .map(|&s| 14.0 + 286.0 * predicted_miss_rate((s / page) as u64, p, true_k, MissRateModel::SizeBiased))
+        .collect();
+    let grid = CandidateGrid::default();
+    c.bench_function("probabilistic_size/dempsey_window", |b| {
+        b.iter(|| {
+            black_box(probabilistic_size(
+                black_box(&sizes),
+                black_box(&cycles),
+                page,
+                &grid,
+            ))
+        });
+    });
+}
+
+fn bench_gradient_pipeline(c: &mut Criterion) {
+    let series: Vec<f64> = (0..72)
+        .map(|i| 3.0 + (i as f64 / 10.0).sin().abs() * 100.0)
+        .collect();
+    c.bench_function("gradient_plus_peaks/72_samples", |b| {
+        b.iter(|| {
+            let g = gradient(black_box(&series));
+            black_box(find_peaks(&g, 1.15))
+        });
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // 496 pair latencies (the Finis Terrae two-node sweep).
+    let measurements: Vec<(f64, (usize, usize))> = (0..496)
+        .map(|i| {
+            let latency = match i % 4 {
+                0 => 4.6,
+                1 => 6.1,
+                2 => 7.8,
+                _ => 14.2,
+            } * (1.0 + 0.01 * ((i * 7919) % 100) as f64 / 100.0);
+            (latency, (i / 31, i % 31))
+        })
+        .collect();
+    c.bench_function("cluster_by_tolerance/496_pairs", |b| {
+        b.iter(|| black_box(cluster_by_tolerance(black_box(measurements.clone()), 0.15)));
+    });
+}
+
+fn bench_group_inference(c: &mut Criterion) {
+    let pairs: Vec<(usize, usize)> = (0..24)
+        .flat_map(|a| (a + 1..24).map(move |b| (a, b)))
+        .collect();
+    c.bench_function("groups_from_pairs/276_pairs", |b| {
+        b.iter(|| black_box(groups_from_pairs(black_box(&pairs))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_binomial,
+    bench_miss_rate_models,
+    bench_probabilistic_fit,
+    bench_gradient_pipeline,
+    bench_clustering,
+    bench_group_inference
+);
+criterion_main!(benches);

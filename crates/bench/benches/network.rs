@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the interconnect simulator and the
+//! communication benchmark built on it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use servet_core::comm::{characterize_communication, CommConfig};
+use servet_core::SimPlatform;
+use servet_net::collectives::{broadcast_time_us, BcastAlgorithm};
+use servet_net::presets;
+
+fn bench_send_latency(c: &mut Criterion) {
+    let mut cluster = presets::finis_terrae_cluster(2);
+    c.bench_function("cluster/send_latency", |b| {
+        b.iter(|| black_box(cluster.send_latency_us(0, 16, black_box(16 * 1024))));
+    });
+}
+
+fn bench_concurrent_sends(c: &mut Criterion) {
+    let mut cluster = presets::finis_terrae_cluster(2);
+    let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, 16 + i)).collect();
+    c.bench_function("cluster/concurrent_16_sends", |b| {
+        b.iter(|| black_box(cluster.concurrent_send_latency_us(&pairs, 16 * 1024)));
+    });
+}
+
+fn bench_broadcasts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives/broadcast_32_ranks");
+    for algo in BcastAlgorithm::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                let mut cluster = presets::finis_terrae_cluster(2);
+                b.iter(|| black_box(broadcast_time_us(&mut cluster, algo, 32, 32 * 1024)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_comm_characterization(c: &mut Criterion) {
+    c.bench_function("comm_benchmark/tiny_cluster_end_to_end", |b| {
+        b.iter(|| {
+            let mut platform = SimPlatform::tiny_cluster();
+            black_box(characterize_communication(
+                &mut platform,
+                &CommConfig::small(8 * 1024),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_send_latency,
+    bench_concurrent_sends,
+    bench_broadcasts,
+    bench_full_comm_characterization
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the machine-simulator substrate: how fast the
+//! cycle engine replays the measurement kernels that every experiment is
+//! built on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use servet_sim::cache::SetAssocCache;
+use servet_sim::machine::TraversalJob;
+use servet_sim::membw::MemorySystem;
+use servet_sim::{Machine, KB, MB};
+
+fn bench_cache_probe(c: &mut Criterion) {
+    let mut cache = SetAssocCache::with_geometry(3 * MB, 64, 12);
+    // Pre-populate.
+    for line in 0..32_768u64 {
+        cache.insert(line);
+    }
+    c.bench_function("cache/probe_insert_hit", |b| {
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 97) % 32_768;
+            if !cache.probe(black_box(line)) {
+                cache.insert(line);
+            }
+        });
+    });
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/traverse");
+    for &size in &[32 * KB, 2 * MB, 16 * MB] {
+        let accesses = (size / KB) as u64 * 3;
+        group.throughput(Throughput::Elements(accesses));
+        group.bench_with_input(BenchmarkId::from_parameter(size / KB), &size, |b, &size| {
+            let mut machine = Machine::new(servet_sim::presets::dunnington());
+            let array = machine.alloc_array(size);
+            b.iter(|| {
+                machine.reset();
+                black_box(machine.traverse(0, &array, KB, 1, 2))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_traversal(c: &mut Criterion) {
+    c.bench_function("machine/traverse_pair_shared_l3", |b| {
+        let mut machine = Machine::new(servet_sim::presets::dunnington());
+        let a = machine.alloc_array(8 * MB);
+        let z = machine.alloc_array(8 * MB);
+        b.iter(|| {
+            machine.reset();
+            let jobs = [
+                TraversalJob { core: 0, array: &a, stride: KB },
+                TraversalJob { core: 1, array: &z, stride: KB },
+            ];
+            black_box(machine.traverse_concurrent(&jobs, 1, 1))
+        });
+    });
+}
+
+fn bench_page_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/alloc_array");
+    for &size in &[(64 * KB), (16 * MB)] {
+        group.bench_with_input(BenchmarkId::from_parameter(size / KB), &size, |b, &size| {
+            let mut machine = Machine::new(servet_sim::presets::dunnington());
+            b.iter(|| black_box(machine.alloc_array(size)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_maxmin_fair(c: &mut Criterion) {
+    let spec = servet_sim::presets::finis_terrae_node();
+    let system = MemorySystem::new(&spec.memory);
+    let cores: Vec<usize> = (0..16).collect();
+    c.bench_function("membw/maxmin_16_cores", |b| {
+        b.iter(|| black_box(system.bandwidth(black_box(&cores))));
+    });
+}
+
+fn bench_matmul_trace(c: &mut Criterion) {
+    c.bench_function("machine/run_trace_matmul_48", |b| {
+        let mut machine = Machine::new(servet_sim::presets::tiny_smp());
+        let arena = machine.alloc_array(3 * 48 * 48 * 8);
+        let trace = servet_autotune::tiling::matmul_trace(48, 16);
+        b.iter(|| {
+            machine.reset();
+            black_box(machine.run_trace(0, &arena, &trace))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_probe,
+    bench_traversal,
+    bench_concurrent_traversal,
+    bench_page_allocation,
+    bench_maxmin_fair,
+    bench_matmul_trace
+);
+criterion_main!(benches);

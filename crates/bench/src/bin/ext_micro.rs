@@ -1,0 +1,9 @@
+//! Regenerates the extension experiment `ext_micro` (see DESIGN.md).
+
+fn main() {
+    let report = servet_bench::experiments::cache::ext_micro();
+    report.print();
+    if let Ok(dir) = report.save_tsv("results") {
+        println!("\nseries written to {}", dir.display());
+    }
+}

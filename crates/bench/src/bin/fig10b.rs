@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact `fig10b` (see DESIGN.md for the index).
+
+fn main() {
+    let report = servet_bench::experiments::comm::fig10b();
+    report.print();
+    if let Ok(dir) = report.save_tsv("results") {
+        println!("\nseries written to {}", dir.display());
+    }
+}

@@ -1,0 +1,23 @@
+//! Runs every experiment in paper order, printing each report and writing
+//! all series under `results/`. A non-zero exit means some shape check
+//! failed — the harness doubles as an end-to-end regression test.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let reports = servet_bench::experiments::run_all();
+    let mut checks = 0;
+    for report in &reports {
+        report.print();
+        println!();
+        report
+            .save_tsv("results")
+            .expect("writing results/ succeeds");
+        checks += report.num_checks();
+    }
+    println!(
+        "all {} experiments done, {} shape checks passed, {:.1}s",
+        reports.len(),
+        checks,
+        started.elapsed().as_secs_f64()
+    );
+}

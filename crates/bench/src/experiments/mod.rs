@@ -1,0 +1,41 @@
+//! All experiments, one function per paper artifact.
+//!
+//! Every function is pure measurement + reporting: it builds the needed
+//! simulated platforms internally, runs the *actual Servet benchmarks*
+//! against them (never reading ground truth except to assert shape
+//! criteria), and returns a [`crate::Report`].
+
+pub mod cache;
+pub mod comm;
+pub mod memory;
+pub mod placement;
+pub mod shared;
+pub mod timings;
+
+use crate::Report;
+use rayon::prelude::*;
+
+/// Run every experiment, returning all reports in paper order.
+///
+/// Experiments are independent (each builds its own simulated platforms),
+/// so they run in parallel; on a single-core machine this degrades
+/// gracefully to sequential execution.
+pub fn run_all() -> Vec<Report> {
+    let jobs: Vec<fn() -> Report> = vec![
+        cache::fig2,
+        cache::sec4a,
+        shared::fig8,
+        memory::fig9a,
+        memory::fig9b,
+        comm::fig10a,
+        comm::fig10b,
+        comm::fig10c,
+        comm::fig10d,
+        timings::table1,
+        cache::ablation_cache,
+        comm::ablation_models,
+        placement::app_placement,
+        cache::ext_micro,
+    ];
+    jobs.into_par_iter().map(|job| job()).collect()
+}

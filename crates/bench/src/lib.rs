@@ -1,0 +1,35 @@
+//! # servet-bench
+//!
+//! The experiment harness: regenerates **every table and figure** of the
+//! paper's evaluation (§IV) on the simulated machines, plus the ablations
+//! and application studies listed in `DESIGN.md`.
+//!
+//! Each experiment lives in [`experiments`] as a function that produces a
+//! [`report::Report`]: the printed series mirror what the paper plots, and
+//! each experiment *asserts its shape criteria* (who wins, by roughly what
+//! factor, where the crossovers fall) before returning — so running the
+//! harness doubles as an end-to-end regression test of the reproduction.
+//!
+//! Binaries:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig2` | Fig. 2(a,b) — mcalibrator cycles and gradients |
+//! | `sec4a` | §IV-A — 10/10 cache sizes on four machines |
+//! | `fig8` | Fig. 8(a,b) — shared-cache ratios |
+//! | `fig9a` | Fig. 9(a) — two-core concurrent memory bandwidth |
+//! | `fig9b` | Fig. 9(b) — effective bandwidth vs concurrent cores |
+//! | `fig10a` | Fig. 10(a) — message latency from core 0 |
+//! | `fig10b` | Fig. 10(b) — latency scalability under concurrency |
+//! | `fig10c` | Fig. 10(c) — p2p bandwidth per layer, Dunnington |
+//! | `fig10d` | Fig. 10(d) — p2p bandwidth per layer, Finis Terrae |
+//! | `table1` | Table I — benchmark execution times |
+//! | `ablation_cache` | cache-detection ablations (ours) |
+//! | `ablation_models` | Hockney/LogGP vs layered model (ours) |
+//! | `app_placement` | profile-guided placement study (ours) |
+//! | `run_all` | everything above, writing `results/` |
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

@@ -1,0 +1,47 @@
+//! # servet-core
+//!
+//! The Servet benchmark suite (González-Domínguez et al., *Servet: A
+//! Benchmark Suite for Autotuning on Multicore Clusters*, IPDPS 2010),
+//! reproduced in Rust.
+//!
+//! Servet measures — rather than reads from vendor specifications — the
+//! hardware parameters that matter to autotuned parallel codes on multicore
+//! clusters:
+//!
+//! 1. **cache sizes** of every level ([`mcalibrator()`](mcalibrator::mcalibrator) + [`cache_detect`],
+//!    paper Figs. 1–4), portable across page-coloring and
+//!    randomly-allocating OSes thanks to the probabilistic algorithm;
+//! 2. **which cores share which caches** ([`shared_cache`], Fig. 5);
+//! 3. **memory-access bottlenecks and their magnitudes** ([`mem_overhead`],
+//!    Fig. 6), including the scalability of concurrent accesses;
+//! 4. **communication layers, per-layer point-to-point performance and
+//!    interconnect scalability** ([`comm`], Fig. 7).
+//!
+//! All benchmarks are written against the [`platform::Platform`] trait;
+//! [`sim_platform::SimPlatform`] runs them on the simulated machines of
+//! `servet-sim`/`servet-net`, and `servet-host` runs them on real hardware.
+//! [`suite::run_full_suite`] executes everything and produces a
+//! [`profile::MachineProfile`] that can be stored "in a file to be consulted
+//! by the applications" (§IV-E), which the `servet-autotune` crate consumes.
+
+pub mod cache_detect;
+pub mod comm;
+pub mod mcalibrator;
+pub mod mem_overhead;
+pub mod micro;
+pub mod platform;
+pub mod profile;
+pub mod shared_cache;
+pub mod sim_platform;
+pub mod suite;
+
+pub use cache_detect::{detect_cache_levels, CacheLevelEstimate, DetectConfig, DetectionMethod};
+pub use comm::{characterize_communication, CommConfig, CommResult};
+pub use mcalibrator::{mcalibrator, McalibratorConfig, McalibratorOutput};
+pub use mem_overhead::{characterize_memory, MemOverheadConfig, MemOverheadResult};
+pub use micro::{run_micro_probes, MicroConfig, MicroProfile};
+pub use platform::{CoreId, Platform};
+pub use profile::MachineProfile;
+pub use shared_cache::{detect_shared_caches, SharedCacheConfig, SharedCacheResult};
+pub use sim_platform::SimPlatform;
+pub use suite::{run_full_suite, SuiteConfig, SuiteReport};

@@ -1,0 +1,192 @@
+//! mcalibrator — the strided-traversal measurement kernel (paper Fig. 1).
+//!
+//! Arrays of growing size are traversed with a fixed stride and the average
+//! number of cycles per access is recorded. The paper's choices, kept here:
+//!
+//! * **1 KB stride** — "big enough to avoid influences of the hardware
+//!   prefetcher … larger than any existing cache line size and … a divisor
+//!   of any cache size";
+//! * sizes **double up to 2 MB** and then grow **by 1 MB**, so the small
+//!   caches are sampled geometrically and the large ones densely enough for
+//!   the probabilistic algorithm;
+//! * the real kernel reads its stride *from the array* (`j += A[j]`) to
+//!   defeat compiler optimization — a concern for the host backend;
+//!   the simulator backend performs the same address sequence directly.
+
+use crate::platform::{CoreId, Platform};
+use serde::{Deserialize, Serialize};
+use servet_stats::gradient::gradient;
+
+const KB: usize = 1024;
+const MB: usize = 1024 * 1024;
+
+/// Sweep configuration (the paper's `MIN_CACHE` / `MAX_CACHE` loop).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McalibratorConfig {
+    /// First array size tested, bytes.
+    pub min_size: usize,
+    /// Last array size tested (inclusive), bytes. Must comfortably exceed
+    /// the largest cache.
+    pub max_size: usize,
+    /// Traversal stride, bytes.
+    pub stride: usize,
+    /// Sizes double until this threshold, then grow by `linear_step`.
+    pub double_until: usize,
+    /// Linear increment beyond `double_until`, bytes.
+    pub linear_step: usize,
+}
+
+impl Default for McalibratorConfig {
+    fn default() -> Self {
+        Self {
+            min_size: 4 * KB,
+            max_size: 64 * MB,
+            stride: KB,
+            double_until: 2 * MB,
+            linear_step: MB,
+        }
+    }
+}
+
+impl McalibratorConfig {
+    /// A reduced sweep for small machines (tests): up to `max_size`,
+    /// keeping the paper's proportions (sampling step no finer than the
+    /// caches' size gaps, so page-coloring transitions stay sharp).
+    pub fn small(max_size: usize) -> Self {
+        Self {
+            min_size: KB,
+            max_size,
+            stride: KB,
+            double_until: 32 * KB,
+            linear_step: 32 * KB,
+        }
+    }
+
+    /// The sequence of array sizes this configuration visits.
+    pub fn sizes(&self) -> Vec<usize> {
+        assert!(self.min_size > 0 && self.min_size <= self.max_size);
+        assert!(self.stride > 0);
+        let mut out = Vec::new();
+        let mut s = self.min_size;
+        while s <= self.max_size {
+            out.push(s);
+            s = if s < self.double_until {
+                s * 2
+            } else {
+                s + self.linear_step
+            };
+        }
+        out
+    }
+}
+
+/// The output arrays `S` and `C` of the paper's Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McalibratorOutput {
+    /// Array sizes tested, bytes.
+    pub sizes: Vec<usize>,
+    /// Average cycles per access during the traversal of each size.
+    pub cycles: Vec<f64>,
+    /// Stride used, bytes.
+    pub stride: usize,
+}
+
+impl McalibratorOutput {
+    /// The gradient series `C[k+1] / C[k]` (paper Fig. 2b).
+    pub fn gradients(&self) -> Vec<f64> {
+        gradient(&self.cycles)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+/// Run the mcalibrator sweep on `core`.
+pub fn mcalibrator(
+    platform: &mut dyn Platform,
+    core: CoreId,
+    config: &McalibratorConfig,
+) -> McalibratorOutput {
+    let sizes = config.sizes();
+    let cycles = sizes
+        .iter()
+        .map(|&s| platform.traverse_cycles(core, s, config.stride))
+        .collect();
+    McalibratorOutput {
+        sizes,
+        cycles,
+        stride: config.stride,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_platform::SimPlatform;
+
+    #[test]
+    fn default_config_matches_paper_shape() {
+        let sizes = McalibratorConfig::default().sizes();
+        assert_eq!(sizes[0], 4 * KB);
+        // Doubling: 4K 8K ... 2M = 10 points.
+        assert_eq!(sizes[9], 2 * MB);
+        assert_eq!(sizes[10], 3 * MB);
+        assert_eq!(*sizes.last().unwrap(), 64 * MB);
+        // Strictly increasing.
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn small_config_is_dense() {
+        let sizes = McalibratorConfig::small(128 * KB).sizes();
+        assert!(sizes.len() >= 8, "{sizes:?}");
+        assert!(*sizes.last().unwrap() <= 128 * KB);
+    }
+
+    #[test]
+    fn sweep_on_tiny_machine_shows_plateaus() {
+        // tiny_smp: 8 KB L1 (2 cy), 64 KB L2 (10 cy), memory (100+ cy).
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        let out = mcalibrator(&mut p, 0, &McalibratorConfig::small(256 * KB));
+        assert_eq!(out.len(), out.sizes.len());
+        assert!(!out.is_empty());
+        // Cost at 4 KB is the L1 hit; at the top it is memory-bound.
+        let first = out.cycles[0];
+        let last = *out.cycles.last().unwrap();
+        assert!((first - 2.0).abs() < 0.5, "first = {first}");
+        assert!(last > 50.0, "last = {last}");
+        // Gradient has at least one clear peak (the L1 exhaustion).
+        let g = out.gradients();
+        assert!(g.iter().copied().fold(0.0, f64::max) > 1.5);
+    }
+
+    #[test]
+    fn cycles_trend_upward() {
+        // Random page mapping makes individual samples of the transition
+        // region noisy (each size draws a fresh mapping), so the series is
+        // only required to avoid large dips and to end far above its start.
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        let out = mcalibrator(&mut p, 0, &McalibratorConfig::small(256 * KB));
+        for w in out.cycles.windows(2) {
+            assert!(w[1] >= w[0] * 0.80, "cycles dipped: {:?}", w);
+        }
+        assert!(*out.cycles.last().unwrap() > out.cycles[0] * 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_config_panics() {
+        let cfg = McalibratorConfig {
+            min_size: 0,
+            ..Default::default()
+        };
+        cfg.sizes();
+    }
+}

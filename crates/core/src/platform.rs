@@ -1,0 +1,146 @@
+//! The platform abstraction the benchmarks run against.
+//!
+//! Every Servet benchmark (Figs. 1, 5, 6, 7 of the paper) is written once
+//! against [`Platform`] and runs unchanged on:
+//!
+//! * [`crate::sim_platform::SimPlatform`] — the simulated machines and
+//!   clusters of `servet-sim` / `servet-net` (used by every experiment
+//!   reproduction in this repository), and
+//! * `servet_host::HostPlatform` — real timed loops on the machine the
+//!   program runs on.
+//!
+//! The trait's operations are exactly the measurement primitives the
+//! paper's benchmarks need — a strided traversal timed in cycles, a
+//! concurrent traversal, a STREAM-like copy bandwidth, a message latency,
+//! and a concurrent-message latency — plus an elapsed-time ledger used to
+//! reproduce Table I.
+
+/// A core index. For cache and memory benchmarks, cores `0..num_cores()`
+/// of one shared-memory node; for communication benchmarks, global cores
+/// `0..total_cores()` across the cluster.
+pub type CoreId = usize;
+
+/// One concurrent-traversal job: `(core, array_size_bytes)`.
+pub type TraverseJob = (CoreId, usize);
+
+/// The measurement surface of a machine under test.
+pub trait Platform {
+    /// Machine name, used in reports.
+    fn name(&self) -> &str;
+
+    /// Cores of one shared-memory node (cache and memory benchmarks).
+    fn num_cores(&self) -> usize;
+
+    /// Cores across the whole cluster (communication benchmarks). Equals
+    /// [`Self::num_cores`] for a single node.
+    fn total_cores(&self) -> usize {
+        self.num_cores()
+    }
+
+    /// OS page size in bytes, an input to the probabilistic cache-size
+    /// algorithm (Fig. 3).
+    fn page_size(&self) -> usize;
+
+    /// Average cycles per access of a strided traversal of a fresh
+    /// `size`-byte array on `core` — the measured body of mcalibrator
+    /// (Fig. 1).
+    fn traverse_cycles(&mut self, core: CoreId, size: usize, stride: usize) -> f64;
+
+    /// Run one traversal per job concurrently; returns average cycles per
+    /// access for each job, in order (Fig. 5's concurrent invocation).
+    fn traverse_concurrent_cycles(&mut self, jobs: &[TraverseJob], stride: usize) -> Vec<f64>;
+
+    /// STREAM-like copy bandwidth in GB/s of each core in `active` while
+    /// all of them stream concurrently (Fig. 6's measurement).
+    fn copy_bandwidth_gbs(&mut self, active: &[CoreId]) -> Vec<f64>;
+
+    /// Average cycles per access of an *arbitrary* access pattern over a
+    /// fresh `size`-byte array: `offsets` are byte offsets visited in
+    /// order (one warm-up pass, then measured passes).
+    ///
+    /// The paper's benchmarks only need fixed strides; the micro-benchmark
+    /// extensions ([`crate::micro`]) use irregular patterns to defeat the
+    /// prefetcher when probing line size and associativity.
+    fn traverse_pattern_cycles(&mut self, core: CoreId, size: usize, offsets: &[u64]) -> f64;
+
+    /// Whether message-passing benchmarks are available (false on a
+    /// unicore machine such as the Athlon).
+    fn supports_messaging(&self) -> bool {
+        self.total_cores() > 1
+    }
+
+    /// Mean one-way latency in µs of a `size`-byte message between global
+    /// cores `a` and `b` (Fig. 7's measurement).
+    fn message_latency_us(&mut self, a: CoreId, b: CoreId, size: usize) -> f64;
+
+    /// Latencies when every pair sends a `size`-byte message concurrently
+    /// (the scalability probe of §III-D).
+    fn concurrent_message_latency_us(
+        &mut self,
+        pairs: &[(CoreId, CoreId)],
+        size: usize,
+    ) -> Vec<f64>;
+
+    /// Wall-clock (or virtual) seconds consumed by all measurements so far.
+    /// The suite reads deltas of this to reproduce Table I.
+    fn elapsed_seconds(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially fake platform exercising the trait's defaults.
+    struct Fake {
+        cores: usize,
+    }
+
+    impl Platform for Fake {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn num_cores(&self) -> usize {
+            self.cores
+        }
+        fn page_size(&self) -> usize {
+            4096
+        }
+        fn traverse_cycles(&mut self, _c: CoreId, _s: usize, _st: usize) -> f64 {
+            1.0
+        }
+        fn traverse_concurrent_cycles(&mut self, jobs: &[TraverseJob], _st: usize) -> Vec<f64> {
+            vec![1.0; jobs.len()]
+        }
+        fn copy_bandwidth_gbs(&mut self, active: &[CoreId]) -> Vec<f64> {
+            vec![1.0; active.len()]
+        }
+        fn traverse_pattern_cycles(&mut self, _c: CoreId, _s: usize, _o: &[u64]) -> f64 {
+            1.0
+        }
+        fn message_latency_us(&mut self, _a: CoreId, _b: CoreId, _s: usize) -> f64 {
+            1.0
+        }
+        fn concurrent_message_latency_us(
+            &mut self,
+            pairs: &[(CoreId, CoreId)],
+            _s: usize,
+        ) -> Vec<f64> {
+            vec![1.0; pairs.len()]
+        }
+        fn elapsed_seconds(&self) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn default_total_cores_equals_num_cores() {
+        let f = Fake { cores: 4 };
+        assert_eq!(f.total_cores(), 4);
+    }
+
+    #[test]
+    fn default_messaging_support() {
+        assert!(Fake { cores: 2 }.supports_messaging());
+        assert!(!Fake { cores: 1 }.supports_messaging());
+    }
+}

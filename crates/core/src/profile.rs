@@ -1,0 +1,194 @@
+//! The machine profile: everything Servet learned, in one serializable
+//! value.
+//!
+//! §IV-E of the paper: the benchmarks "must be run only once at
+//! installation time … The information obtained can be stored in a file to
+//! be consulted by the applications to guide optimizations when needed."
+//! [`MachineProfile`] is that file's schema; `servet-autotune` consumes it.
+
+use crate::cache_detect::CacheLevelEstimate;
+use crate::comm::CommResult;
+use crate::mcalibrator::McalibratorOutput;
+use crate::mem_overhead::MemOverheadResult;
+use crate::micro::MicroProfile;
+use crate::platform::CoreId;
+use crate::shared_cache::SharedCacheResult;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The complete output of one Servet run on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineProfile {
+    /// Machine name.
+    pub machine: String,
+    /// Cores per shared-memory node.
+    pub cores_per_node: usize,
+    /// Total cores measured by the communication benchmark.
+    pub total_cores: usize,
+    /// Page size used by the probabilistic algorithm, bytes.
+    pub page_size: usize,
+    /// Raw mcalibrator sweep (kept for plots and re-analysis).
+    pub mcalibrator: Option<McalibratorOutput>,
+    /// Detected cache levels, innermost first.
+    pub cache_levels: Vec<CacheLevelEstimate>,
+    /// Shared-cache topology per level.
+    pub shared_caches: Option<SharedCacheResult>,
+    /// Memory overhead characterization.
+    pub memory: Option<MemOverheadResult>,
+    /// Communication characterization (absent on unicore machines).
+    pub communication: Option<CommResult>,
+    /// Micro-probe extensions: line size and L1 associativity.
+    #[serde(default)]
+    pub micro: Option<MicroProfile>,
+}
+
+impl MachineProfile {
+    /// Detected size of cache level `level` (1-based), bytes.
+    pub fn cache_size(&self, level: u8) -> Option<usize> {
+        self.cache_levels
+            .iter()
+            .find(|c| c.level == level)
+            .map(|c| c.size)
+    }
+
+    /// Number of detected cache levels.
+    pub fn num_cache_levels(&self) -> usize {
+        self.cache_levels.len()
+    }
+
+    /// Cores that share cache level `level` with `core` (excluding
+    /// itself), as measured by the Fig. 5 benchmark.
+    pub fn cores_sharing_cache(&self, level: u8, core: CoreId) -> Vec<CoreId> {
+        self.shared_caches
+            .as_ref()
+            .map(|s| s.cores_sharing_with(level, core))
+            .unwrap_or_default()
+    }
+
+    /// Estimated one-way message latency between two cores, µs.
+    pub fn latency_us(&self, a: CoreId, b: CoreId, size: usize) -> Option<f64> {
+        self.communication
+            .as_ref()
+            .and_then(|c| c.predicted_latency_us(a, b, size))
+    }
+
+    /// Expected per-core memory bandwidth when `cores` stream
+    /// concurrently, GB/s.
+    pub fn memory_bandwidth_gbs(&self, cores: &[CoreId]) -> Option<f64> {
+        self.memory.as_ref().map(|m| m.predicted_bandwidth(cores))
+    }
+
+    /// Isolated-core memory bandwidth, GB/s.
+    pub fn reference_bandwidth_gbs(&self) -> Option<f64> {
+        self.memory.as_ref().map(|m| m.reference_gbs)
+    }
+
+    /// Detected cache line size, bytes (micro probe).
+    pub fn line_size(&self) -> Option<usize> {
+        self.micro.and_then(|m| m.line_size)
+    }
+
+    /// Detected L1 associativity (micro probe).
+    pub fn l1_associativity(&self) -> Option<usize> {
+        self.micro.and_then(|m| m.l1_associativity)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Write the profile to a file (the paper's installation-time output).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Load a profile previously written by [`Self::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_detect::DetectionMethod;
+
+    fn minimal_profile() -> MachineProfile {
+        MachineProfile {
+            machine: "test".into(),
+            cores_per_node: 4,
+            total_cores: 4,
+            page_size: 4096,
+            mcalibrator: None,
+            cache_levels: vec![
+                CacheLevelEstimate {
+                    level: 1,
+                    size: 8 * 1024,
+                    method: DetectionMethod::GradientPeak,
+                },
+                CacheLevelEstimate {
+                    level: 2,
+                    size: 64 * 1024,
+                    method: DetectionMethod::Probabilistic,
+                },
+            ],
+            shared_caches: None,
+            memory: None,
+            communication: None,
+            micro: None,
+        }
+    }
+
+    #[test]
+    fn cache_queries() {
+        let p = minimal_profile();
+        assert_eq!(p.cache_size(1), Some(8 * 1024));
+        assert_eq!(p.cache_size(2), Some(64 * 1024));
+        assert_eq!(p.cache_size(3), None);
+        assert_eq!(p.num_cache_levels(), 2);
+    }
+
+    #[test]
+    fn absent_sections_answer_none() {
+        let p = minimal_profile();
+        assert!(p.cores_sharing_cache(2, 0).is_empty());
+        assert_eq!(p.latency_us(0, 1, 64), None);
+        assert_eq!(p.memory_bandwidth_gbs(&[0, 1]), None);
+        assert_eq!(p.reference_bandwidth_gbs(), None);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = minimal_profile();
+        let json = p.to_json();
+        let back = MachineProfile::from_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = minimal_profile();
+        let dir = std::env::temp_dir().join("servet-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        p.save(&path).unwrap();
+        let back = MachineProfile::load(&path).unwrap();
+        assert_eq!(p, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(MachineProfile::from_json("{not json").is_err());
+        assert!(MachineProfile::load("/nonexistent/servet.json").is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! The full Servet suite: run every benchmark and time each stage.
+//!
+//! Reproduces the paper's top-level flow — cache sizes first (their outputs
+//! feed the shared-cache benchmark's array sizes and the communication
+//! benchmark's probe size), then shared caches, memory overhead and
+//! communication costs — and records per-stage execution time for Table I.
+
+use crate::cache_detect::{detect_cache_levels, DetectConfig};
+use crate::comm::{characterize_communication, CommConfig};
+use crate::mcalibrator::{mcalibrator, McalibratorConfig};
+use crate::mem_overhead::{characterize_memory, MemOverheadConfig};
+use crate::micro::{run_micro_probes, MicroConfig};
+use crate::platform::Platform;
+use crate::profile::MachineProfile;
+use crate::shared_cache::{detect_shared_caches, SharedCacheConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which benchmarks to run and with what parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// mcalibrator sweep parameters.
+    pub mcalibrator: McalibratorConfig,
+    /// Cache-level detection parameters.
+    pub detect: DetectConfig,
+    /// Shared-cache benchmark parameters.
+    pub shared: SharedCacheConfig,
+    /// Memory-overhead benchmark parameters.
+    pub memory: MemOverheadConfig,
+    /// Communication benchmark tolerance/sweep parameters; the probe size
+    /// is replaced by the detected L1 size at run time.
+    pub comm: CommConfig,
+    /// Skip the shared-cache benchmark.
+    pub skip_shared: bool,
+    /// Skip the memory-overhead benchmark.
+    pub skip_memory: bool,
+    /// Skip the communication benchmark.
+    pub skip_comm: bool,
+    /// Run the micro-probe extensions (line size, L1 associativity) after
+    /// the cache-size stage. Off by default: they are extensions beyond
+    /// the paper's published suite.
+    pub run_micro: bool,
+    /// Micro-probe parameters.
+    pub micro: MicroConfig,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            mcalibrator: McalibratorConfig::default(),
+            detect: DetectConfig::default(),
+            shared: SharedCacheConfig::default(),
+            memory: MemOverheadConfig::default(),
+            comm: CommConfig::with_l1_size(32 * 1024),
+            skip_shared: false,
+            skip_memory: false,
+            skip_comm: false,
+            run_micro: false,
+            micro: MicroConfig::default(),
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A light configuration for small test machines.
+    pub fn small(max_cache: usize) -> Self {
+        Self {
+            mcalibrator: McalibratorConfig::small(max_cache),
+            detect: DetectConfig::small(),
+            shared: SharedCacheConfig::default(),
+            memory: MemOverheadConfig::default(),
+            comm: CommConfig::small(8 * 1024),
+            skip_shared: false,
+            skip_memory: false,
+            skip_comm: false,
+            run_micro: false,
+            micro: MicroConfig::default(),
+        }
+    }
+}
+
+/// Wall (or virtual) seconds each stage of the suite consumed — the rows of
+/// the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuiteTimings {
+    /// Cache Size Estimate row.
+    pub cache_size_s: f64,
+    /// Determination of Shared Caches row.
+    pub shared_caches_s: f64,
+    /// Memory Access Overhead row.
+    pub memory_overhead_s: f64,
+    /// Communication Costs row.
+    pub communication_s: f64,
+}
+
+impl SuiteTimings {
+    /// Total seconds.
+    pub fn total_s(&self) -> f64 {
+        self.cache_size_s + self.shared_caches_s + self.memory_overhead_s + self.communication_s
+    }
+}
+
+/// The suite's full output: the machine profile plus stage timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// The measured machine profile.
+    pub profile: MachineProfile,
+    /// Per-stage execution times.
+    pub timings: SuiteTimings,
+}
+
+/// Run the complete Servet suite on a platform.
+pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> SuiteReport {
+    let t0 = platform.elapsed_seconds();
+
+    // Stage 1: cache size estimate (Figs. 1-4).
+    let sweep = mcalibrator(platform, 0, &config.mcalibrator);
+    let cache_levels = detect_cache_levels(&sweep, platform.page_size(), &config.detect);
+    let micro = if config.run_micro {
+        cache_levels
+            .first()
+            .map(|l1| run_micro_probes(platform, 0, l1.size, &config.micro))
+    } else {
+        None
+    };
+    let t1 = platform.elapsed_seconds();
+
+    // Stage 2: shared caches (Fig. 5).
+    let shared = if config.skip_shared || platform.num_cores() < 2 {
+        None
+    } else {
+        let sizes: Vec<usize> = cache_levels.iter().map(|c| c.size).collect();
+        Some(detect_shared_caches(platform, &sizes, &config.shared))
+    };
+    let t2 = platform.elapsed_seconds();
+
+    // Stage 3: memory access overhead (Fig. 6).
+    let memory = if config.skip_memory || platform.num_cores() < 2 {
+        None
+    } else {
+        Some(characterize_memory(platform, &config.memory))
+    };
+    let t3 = platform.elapsed_seconds();
+
+    // Stage 4: communication costs (Fig. 7), probing with the detected L1
+    // size.
+    let communication = if config.skip_comm || !platform.supports_messaging() {
+        None
+    } else {
+        let mut comm_cfg = config.comm.clone();
+        if let Some(l1) = cache_levels.first() {
+            comm_cfg.probe_size = l1.size;
+        }
+        Some(characterize_communication(platform, &comm_cfg))
+    };
+    let t4 = platform.elapsed_seconds();
+
+    SuiteReport {
+        profile: MachineProfile {
+            machine: platform.name().to_string(),
+            cores_per_node: platform.num_cores(),
+            total_cores: platform.total_cores(),
+            page_size: platform.page_size(),
+            mcalibrator: Some(sweep),
+            cache_levels,
+            shared_caches: shared,
+            memory,
+            communication,
+            micro,
+        },
+        timings: SuiteTimings {
+            cache_size_s: t1 - t0,
+            shared_caches_s: t2 - t1,
+            memory_overhead_s: t3 - t2,
+            communication_s: t4 - t3,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_platform::SimPlatform;
+    use servet_sim::KB;
+
+    #[test]
+    fn full_suite_on_tiny_cluster() {
+        let mut p = SimPlatform::tiny_cluster().with_noise(0.003);
+        let report = run_full_suite(&mut p, &SuiteConfig::small(256 * KB));
+        let profile = &report.profile;
+        // Caches: 8 KB L1, 64 KB L2.
+        assert_eq!(profile.cache_size(1), Some(8 * KB));
+        assert_eq!(profile.cache_size(2), Some(64 * KB));
+        // Private caches on tiny_smp.
+        assert!(!profile.shared_caches.as_ref().unwrap().any_shared());
+        // One memory overhead class (single FSB).
+        assert_eq!(profile.memory.as_ref().unwrap().num_classes(), 1);
+        // Four communication layers.
+        assert_eq!(profile.communication.as_ref().unwrap().num_layers(), 4);
+        // Probe size followed the detected L1.
+        assert_eq!(profile.communication.as_ref().unwrap().probe_size, 8 * KB);
+        // Timings all positive, total consistent.
+        let t = &report.timings;
+        assert!(t.cache_size_s > 0.0);
+        assert!(t.shared_caches_s > 0.0);
+        assert!(t.memory_overhead_s > 0.0);
+        assert!(t.communication_s > 0.0);
+        assert!((t.total_s()
+            - (t.cache_size_s + t.shared_caches_s + t.memory_overhead_s + t.communication_s))
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn unicore_machine_skips_parallel_stages() {
+        let mut p = SimPlatform::athlon3200().with_noise(0.002);
+        let cfg = SuiteConfig {
+            mcalibrator: McalibratorConfig {
+                max_size: 4 * 1024 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_full_suite(&mut p, &cfg);
+        let profile = &report.profile;
+        assert_eq!(profile.cache_size(1), Some(64 * KB));
+        assert_eq!(profile.cache_size(2), Some(512 * KB));
+        assert!(profile.shared_caches.is_none());
+        assert!(profile.memory.is_none());
+        assert!(profile.communication.is_none());
+        assert_eq!(report.timings.shared_caches_s, 0.0);
+    }
+
+    #[test]
+    fn skip_flags_respected() {
+        let mut p = SimPlatform::tiny_cluster().with_noise(0.0);
+        let cfg = SuiteConfig {
+            skip_shared: true,
+            skip_memory: true,
+            skip_comm: true,
+            ..SuiteConfig::small(256 * KB)
+        };
+        let report = run_full_suite(&mut p, &cfg);
+        assert!(report.profile.shared_caches.is_none());
+        assert!(report.profile.memory.is_none());
+        assert!(report.profile.communication.is_none());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        let cfg = SuiteConfig {
+            skip_comm: true,
+            ..SuiteConfig::small(128 * KB)
+        };
+        let report = run_full_suite(&mut p, &cfg);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SuiteReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! CPU affinity: pin the calling thread to one core.
+//!
+//! The paper sets "the affinity of MPI processes to particular cores ...
+//! with the `sched` system library"; this module is the Rust equivalent
+//! over `sched_setaffinity(2)`. Pinning is best-effort: on platforms or
+//! containers where it fails (restricted cpusets, non-Linux), measurements
+//! still run, just without placement control.
+
+/// Pin the calling thread to `core`. Returns `true` on success.
+#[cfg(target_os = "linux")]
+pub fn pin_to_core(core: usize) -> bool {
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(core, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+}
+
+/// Pinning is a no-op off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+/// The set of cores the calling thread may run on, by index.
+#[cfg(target_os = "linux")]
+pub fn allowed_cores() -> Vec<usize> {
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        if libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set) != 0 {
+            return Vec::new();
+        }
+        (0..libc::CPU_SETSIZE as usize)
+            .filter(|&c| libc::CPU_ISSET(c, &set))
+            .collect()
+    }
+}
+
+/// Unknown affinity off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn allowed_cores() -> Vec<usize> {
+    Vec::new()
+}
+
+/// Number of logical cores available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// OS page size in bytes.
+#[cfg(target_os = "linux")]
+pub fn page_size() -> usize {
+    let ps = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    if ps > 0 {
+        ps as usize
+    } else {
+        4096
+    }
+}
+
+/// Assume 4 KB pages off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn page_size() -> usize {
+    4096
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_one_core() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn page_size_sane() {
+        let ps = page_size();
+        assert!(ps.is_power_of_two());
+        assert!(ps >= 1024 && ps <= 1024 * 1024);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn allowed_cores_nonempty() {
+        let cores = allowed_cores();
+        assert!(!cores.is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_to_first_allowed_core() {
+        let cores = allowed_cores();
+        assert!(pin_to_core(cores[0]));
+        // Restore the original mask for later tests.
+        unsafe {
+            let mut set: libc::cpu_set_t = std::mem::zeroed();
+            libc::CPU_ZERO(&mut set);
+            for &c in &cores {
+                libc::CPU_SET(c, &mut set);
+            }
+            libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Read the OS's own view of the cache hierarchy (Linux sysfs), for
+//! validating Servet's measurements on real machines.
+//!
+//! The paper's §I argues that specification-based information is often
+//! inaccessible or unreliable (`dmidecode` needs root; documentation is
+//! vendor-specific) — which is precisely why Servet *measures*. Where
+//! sysfs is available, though, it makes a good cross-check: the
+//! `host_probe` example and `servet probe` report measured-vs-reported
+//! side by side.
+
+use std::fs;
+use std::path::Path;
+
+/// One cache level as reported by the OS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportedCache {
+    /// Level (1, 2, 3, ...).
+    pub level: u8,
+    /// "Data", "Instruction" or "Unified".
+    pub cache_type: String,
+    /// Size in bytes.
+    pub size: usize,
+    /// Line size in bytes, when reported.
+    pub line_size: Option<usize>,
+    /// Ways of associativity, when reported.
+    pub associativity: Option<usize>,
+    /// Cores sharing this cache instance, when reported.
+    pub shared_with: Vec<usize>,
+}
+
+fn read_trimmed(path: &Path) -> Option<String> {
+    fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+}
+
+/// Parse a sysfs size string like "32K" or "12288K".
+fn parse_size(text: &str) -> Option<usize> {
+    if let Some(kb) = text.strip_suffix('K') {
+        kb.parse::<usize>().ok().map(|v| v * 1024)
+    } else if let Some(mb) = text.strip_suffix('M') {
+        mb.parse::<usize>().ok().map(|v| v * 1024 * 1024)
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Parse a cpu list like "0-3,8,10-11".
+fn parse_cpu_list(text: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+                cpus.extend(lo..=hi);
+            }
+        } else if let Ok(v) = part.parse::<usize>() {
+            cpus.push(v);
+        }
+    }
+    cpus
+}
+
+/// Data/unified caches of `cpu` as reported under
+/// `/sys/devices/system/cpu/cpu<N>/cache/`, innermost first. Empty when
+/// sysfs is unavailable (non-Linux, restricted container).
+pub fn reported_caches(cpu: usize) -> Vec<ReportedCache> {
+    let base = format!("/sys/devices/system/cpu/cpu{cpu}/cache");
+    let Ok(entries) = fs::read_dir(&base) else {
+        return Vec::new();
+    };
+    let mut caches = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("index"))
+        {
+            continue;
+        }
+        let Some(level) = read_trimmed(&path.join("level")).and_then(|v| v.parse::<u8>().ok())
+        else {
+            continue;
+        };
+        let cache_type = read_trimmed(&path.join("type")).unwrap_or_default();
+        if cache_type == "Instruction" {
+            continue; // Servet measures the data side
+        }
+        let Some(size) = read_trimmed(&path.join("size")).and_then(|v| parse_size(&v)) else {
+            continue;
+        };
+        caches.push(ReportedCache {
+            level,
+            cache_type,
+            size,
+            line_size: read_trimmed(&path.join("coherency_line_size"))
+                .and_then(|v| v.parse().ok()),
+            associativity: read_trimmed(&path.join("ways_of_associativity"))
+                .and_then(|v| v.parse().ok()),
+            shared_with: read_trimmed(&path.join("shared_cpu_list"))
+                .map(|v| parse_cpu_list(&v))
+                .unwrap_or_default(),
+        });
+    }
+    caches.sort_by_key(|c| c.level);
+    caches
+}
+
+/// Compare measured sizes against the OS-reported hierarchy. Returns
+/// `(level, measured, reported)` triples for levels present in both.
+pub fn compare_with_reported(
+    measured: &[(u8, usize)],
+    reported: &[ReportedCache],
+) -> Vec<(u8, usize, usize)> {
+    measured
+        .iter()
+        .filter_map(|&(level, size)| {
+            reported
+                .iter()
+                .find(|r| r.level == level)
+                .map(|r| (level, size, r.size))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size("32K"), Some(32 * 1024));
+        assert_eq!(parse_size("12M"), Some(12 * 1024 * 1024));
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("junk"), None);
+    }
+
+    #[test]
+    fn cpu_list_parsing() {
+        assert_eq!(parse_cpu_list("0-3"), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list("0,2,4"), vec![0, 2, 4]);
+        assert_eq!(parse_cpu_list("0-1,8-9"), vec![0, 1, 8, 9]);
+        assert_eq!(parse_cpu_list(""), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn reported_caches_well_formed() {
+        // May be empty in restricted containers; when present it must be
+        // sorted and sane.
+        let caches = reported_caches(0);
+        for w in caches.windows(2) {
+            assert!(w[0].level <= w[1].level);
+        }
+        for c in &caches {
+            assert!(c.size > 0);
+            assert_ne!(c.cache_type, "Instruction");
+        }
+    }
+
+    #[test]
+    fn comparison_joins_on_level() {
+        let reported = vec![
+            ReportedCache {
+                level: 1,
+                cache_type: "Data".into(),
+                size: 32 * 1024,
+                line_size: Some(64),
+                associativity: Some(8),
+                shared_with: vec![0],
+            },
+            ReportedCache {
+                level: 2,
+                cache_type: "Unified".into(),
+                size: 1024 * 1024,
+                line_size: Some(64),
+                associativity: Some(16),
+                shared_with: vec![0, 1],
+            },
+        ];
+        let measured = [(1u8, 32 * 1024usize), (2, 2 * 1024 * 1024), (3, 9 << 20)];
+        let joined = compare_with_reported(&measured, &reported);
+        assert_eq!(joined, vec![(1, 32 * 1024, 32 * 1024), (2, 2 * 1024 * 1024, 1024 * 1024)]);
+    }
+}

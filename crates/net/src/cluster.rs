@@ -1,0 +1,292 @@
+//! The virtual cluster: ranks, affinity, timed messaging, virtual time.
+//!
+//! [`VirtualCluster`] plays the role MPI plays in the paper's reference
+//! implementation: processes (ranks) are pinned to cores (the paper uses the
+//! `sched` library for affinity), point-to-point messages are timed, and
+//! several messages can be sent concurrently. All time is *virtual*: the
+//! cluster keeps a ledger of simulated microseconds, which the suite uses to
+//! reproduce the execution times of Table I.
+
+use crate::contention::ContentionModel;
+use crate::model::CommModel;
+use crate::topology::{ClusterTopology, GlobalCore};
+
+/// Deterministic hash → `[0, 1)` float, used for measurement jitter.
+fn jitter_unit(seed: u64) -> f64 {
+    // splitmix64 finalizer.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A simulated multicore cluster with an MPI-like timed messaging surface.
+#[derive(Debug, Clone)]
+pub struct VirtualCluster {
+    topo: ClusterTopology,
+    model: CommModel,
+    contention: ContentionModel,
+    /// `affinity[rank]` — the core each rank is pinned to.
+    affinity: Vec<GlobalCore>,
+    /// Virtual time consumed by all operations so far, µs.
+    elapsed_us: f64,
+    /// Operation counter, also salts the jitter.
+    ops: u64,
+    seed: u64,
+}
+
+impl VirtualCluster {
+    /// Create a cluster with one rank per core, rank `i` pinned to core `i`.
+    pub fn new(topo: ClusterTopology, model: CommModel, contention: ContentionModel) -> Self {
+        topo.validate().expect("invalid topology");
+        let n = topo.total_cores();
+        Self {
+            topo,
+            model,
+            contention,
+            affinity: (0..n).collect(),
+            elapsed_us: 0.0,
+            ops: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Change the jitter seed (distinct seeds give distinct measurement
+    /// noise streams).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    /// The ground-truth communication model (used by tests and ablations,
+    /// never by the benchmarks themselves).
+    pub fn model(&self) -> &CommModel {
+        &self.model
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.affinity.len()
+    }
+
+    /// Pin ranks to cores. Cores must be distinct and in range.
+    pub fn set_affinity(&mut self, affinity: Vec<GlobalCore>) {
+        let mut seen = vec![false; self.topo.total_cores()];
+        for &c in &affinity {
+            assert!(c < self.topo.total_cores(), "core {c} out of range");
+            assert!(!seen[c], "core {c} pinned twice");
+            seen[c] = true;
+        }
+        self.affinity = affinity;
+    }
+
+    /// Core a rank is pinned to.
+    pub fn core_of_rank(&self, rank: usize) -> GlobalCore {
+        self.affinity[rank]
+    }
+
+    /// Deterministic multiplicative jitter for the next measurement.
+    fn jitter(&mut self, a: GlobalCore, b: GlobalCore, size: usize) -> f64 {
+        let j = self.model.jitter;
+        if j == 0.0 {
+            return 1.0;
+        }
+        self.ops += 1;
+        let h = self
+            .seed
+            .wrapping_mul(31)
+            .wrapping_add(a as u64)
+            .wrapping_mul(31)
+            .wrapping_add(b as u64)
+            .wrapping_mul(31)
+            .wrapping_add(size as u64)
+            .wrapping_mul(31)
+            .wrapping_add(self.ops);
+        1.0 + j * (2.0 * jitter_unit(h) - 1.0)
+    }
+
+    /// Latency in µs of one message from `rank_a` to `rank_b`.
+    ///
+    /// This is the `l = Latency sending a message between the two cores`
+    /// step of the paper's Fig. 7.
+    pub fn send_latency_us(&mut self, rank_a: usize, rank_b: usize, size: usize) -> f64 {
+        let (a, b) = (self.core_of_rank(rank_a), self.core_of_rank(rank_b));
+        assert_ne!(a, b, "rank {rank_a} and {rank_b} share core {a}");
+        let layer = self.topo.layer_between(a, b);
+        let base = self.model.latency_us(layer, size);
+        let t = base * self.jitter(a, b, size);
+        self.elapsed_us += t;
+        t
+    }
+
+    /// Mean one-way latency over `reps` ping-pong iterations.
+    pub fn ping_pong_us(&mut self, rank_a: usize, rank_b: usize, size: usize, reps: usize) -> f64 {
+        assert!(reps > 0);
+        let mut total = 0.0;
+        for _ in 0..reps {
+            total += self.send_latency_us(rank_a, rank_b, size);
+            total += self.send_latency_us(rank_b, rank_a, size);
+        }
+        total / (2.0 * reps as f64)
+    }
+
+    /// Latencies when all `pairs` (by rank) send one `size`-byte message
+    /// concurrently — the scalability probe of §III-D. The virtual clock
+    /// advances by the slowest message.
+    pub fn concurrent_send_latency_us(
+        &mut self,
+        pairs: &[(usize, usize)],
+        size: usize,
+    ) -> Vec<f64> {
+        let core_pairs: Vec<(GlobalCore, GlobalCore)> = pairs
+            .iter()
+            .map(|&(ra, rb)| (self.core_of_rank(ra), self.core_of_rank(rb)))
+            .collect();
+        let slowdowns = self.contention.slowdowns(&self.topo, &core_pairs);
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut worst = 0.0f64;
+        for (&(a, b), &slow) in core_pairs.iter().zip(&slowdowns) {
+            let layer = self.topo.layer_between(a, b);
+            let base = self.model.latency_us(layer, size);
+            let t = base * slow * self.jitter(a, b, size);
+            worst = worst.max(t);
+            out.push(t);
+        }
+        self.elapsed_us += worst;
+        out
+    }
+
+    /// Total virtual time consumed so far, in µs.
+    pub fn elapsed_us(&self) -> f64 {
+        self.elapsed_us
+    }
+
+    /// Add non-messaging virtual time (e.g. local computation between
+    /// measurements) to the ledger.
+    pub fn charge_us(&mut self, us: f64) {
+        self.elapsed_us += us;
+    }
+
+    /// Reset the virtual-time ledger.
+    pub fn reset_clock(&mut self) {
+        self.elapsed_us = 0.0;
+        self.ops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::topology::Layer;
+
+    fn ft() -> VirtualCluster {
+        presets::finis_terrae_cluster(2)
+    }
+
+    #[test]
+    fn latency_reflects_layers() {
+        let mut c = ft();
+        let intra_proc = c.send_latency_us(0, 1, 16 * 1024);
+        let intra_cell = c.send_latency_us(0, 2, 16 * 1024);
+        let intra_node = c.send_latency_us(0, 8, 16 * 1024);
+        let inter_node = c.send_latency_us(0, 16, 16 * 1024);
+        assert!(intra_proc < intra_cell);
+        assert!(intra_cell < intra_node);
+        assert!(intra_node < inter_node);
+        // Paper: intra-node ≈ 2× faster than inter-node.
+        let intra_avg = (intra_proc + intra_cell + intra_node) / 3.0;
+        let ratio = inter_node / intra_avg;
+        assert!((1.5..3.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut c1 = ft();
+        let mut c2 = ft();
+        for _ in 0..32 {
+            let a = c1.send_latency_us(0, 16, 1024);
+            let b = c2.send_latency_us(0, 16, 1024);
+            assert_eq!(a, b);
+        }
+        let base = c1.model().latency_us(Layer::InterNode, 1024);
+        let j = c1.model().jitter;
+        let t = c1.send_latency_us(0, 16, 1024);
+        assert!(t >= base * (1.0 - j) && t <= base * (1.0 + j));
+    }
+
+    #[test]
+    fn repeated_sends_vary_within_jitter() {
+        let mut c = ft();
+        let a = c.send_latency_us(0, 16, 4096);
+        let b = c.send_latency_us(0, 16, 4096);
+        assert_ne!(a, b, "jitter should vary across trials");
+    }
+
+    #[test]
+    fn ping_pong_averages() {
+        let mut c = ft();
+        let m = c.ping_pong_us(0, 16, 16 * 1024, 8);
+        let base = c.model().latency_us(Layer::InterNode, 16 * 1024);
+        assert!((m - base).abs() / base < 0.05, "mean {m} vs base {base}");
+    }
+
+    #[test]
+    fn concurrent_sends_slow_down() {
+        let mut c = ft();
+        let solo = c.send_latency_us(0, 16, 16 * 1024);
+        let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, 16 + i)).collect();
+        let lat = c.concurrent_send_latency_us(&pairs, 16 * 1024);
+        let worst = lat.iter().copied().fold(0.0, f64::max);
+        assert!(worst > 3.0 * solo, "16 concurrent IB messages: {worst} vs {solo}");
+    }
+
+    #[test]
+    fn elapsed_accumulates() {
+        let mut c = ft();
+        assert_eq!(c.elapsed_us(), 0.0);
+        let t = c.send_latency_us(0, 1, 1024);
+        assert!((c.elapsed_us() - t).abs() < 1e-12);
+        c.charge_us(100.0);
+        assert!(c.elapsed_us() > 100.0);
+        c.reset_clock();
+        assert_eq!(c.elapsed_us(), 0.0);
+    }
+
+    #[test]
+    fn affinity_changes_layers() {
+        let mut c = ft();
+        // Pin rank 0 to core 0 and rank 1 to core 16: the rank pair now
+        // crosses the network.
+        let mut aff: Vec<usize> = (0..32).collect();
+        aff.swap(1, 16);
+        c.set_affinity(aff);
+        assert_eq!(c.core_of_rank(1), 16);
+        let t01 = c.send_latency_us(0, 1, 16 * 1024);
+        let base = c.model().latency_us(Layer::InterNode, 16 * 1024);
+        assert!((t01 - base).abs() / base < 0.05);
+        assert_eq!(c.num_ranks(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_affinity_panics() {
+        let mut c = ft();
+        c.set_affinity(vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_out_of_range_panics() {
+        let mut c = ft();
+        c.set_affinity(vec![0, 1]);
+        // Rank 2 no longer exists after shrinking the job to 2 ranks.
+        c.send_latency_us(0, 2, 64);
+    }
+}

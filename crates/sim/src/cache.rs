@@ -1,0 +1,258 @@
+//! Set-associative LRU cache model.
+//!
+//! Lines are identified by an opaque 64-bit key that already encodes the
+//! address space (for virtually indexed caches) or the physical address (for
+//! physically indexed ones); the cache extracts its set index from the key's
+//! low bits and keeps per-set LRU order.
+
+/// A set-associative cache with LRU replacement.
+///
+/// The model is timing-free: it answers *hit or miss* and mutates LRU
+/// state; the cycle engine in [`crate::machine`] attaches costs.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `sets[s]` holds the line keys resident in set `s`, most recently
+    /// used first.
+    sets: Vec<Vec<u64>>,
+    associativity: usize,
+    num_sets: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Build a cache with `num_sets` sets of `associativity` ways.
+    pub fn new(num_sets: usize, associativity: usize) -> Self {
+        assert!(num_sets > 0, "cache needs at least one set");
+        assert!(associativity > 0, "cache needs at least one way");
+        Self {
+            sets: vec![Vec::with_capacity(associativity); num_sets],
+            associativity,
+            num_sets: num_sets as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Build a cache from a geometry in bytes.
+    pub fn with_geometry(size: usize, line_size: usize, associativity: usize) -> Self {
+        let num_sets = size / (line_size * associativity);
+        Self::new(num_sets, associativity)
+    }
+
+    /// Set index for a line key.
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.num_sets) as usize
+    }
+
+    /// Look up `line`; on hit, refresh its LRU position. Does **not**
+    /// allocate on miss — callers decide fill policy via [`Self::insert`].
+    #[inline]
+    pub fn probe(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            // Move to front (MRU).
+            let l = ways.remove(pos);
+            ways.insert(0, l);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Insert `line` as MRU, evicting the LRU line of its set if full.
+    /// Returns the evicted line, if any. Inserting a resident line just
+    /// refreshes it.
+    #[inline]
+    pub fn insert(&mut self, line: u64) -> Option<u64> {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            let l = ways.remove(pos);
+            ways.insert(0, l);
+            return None;
+        }
+        let evicted = if ways.len() == self.associativity {
+            ways.pop()
+        } else {
+            None
+        };
+        ways.insert(0, line);
+        evicted
+    }
+
+    /// Whether `line` is resident, without touching LRU state or counters.
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].contains(&line)
+    }
+
+    /// Drop every line and reset counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.associativity
+    }
+
+    /// Number of ways.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `(hits, misses)` since construction or the last flush.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit fraction since construction or the last flush; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.probe(7));
+        c.insert(7);
+        assert!(c.probe(7));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn geometry_constructor() {
+        let c = SetAssocCache::with_geometry(32 * 1024, 64, 8);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.capacity_lines(), 512);
+        assert_eq!(c.associativity(), 8);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(10);
+        c.insert(20);
+        assert!(c.probe(10)); // 10 now MRU, 20 LRU
+        let evicted = c.insert(30);
+        assert_eq!(evicted, Some(20));
+        assert!(c.contains(10));
+        assert!(c.contains(30));
+        assert!(!c.contains(20));
+    }
+
+    #[test]
+    fn insert_resident_refreshes_without_evicting() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.insert(1), None); // refresh, 2 becomes LRU
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn lines_map_to_distinct_sets() {
+        let mut c = SetAssocCache::new(4, 1);
+        for line in 0..4u64 {
+            c.insert(line);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        // A fifth line aliases set 0 and evicts line 0.
+        assert_eq!(c.insert(4), Some(0));
+    }
+
+    #[test]
+    fn cyclic_thrash_beyond_capacity() {
+        // Cyclic LRU access over capacity+1 lines in one set misses forever —
+        // the behavior that makes overfull page sets miss in the paper's
+        // probabilistic model.
+        let sets = 1usize;
+        let assoc = 4usize;
+        let mut c = SetAssocCache::new(sets, assoc);
+        let lines: Vec<u64> = (0..(assoc as u64 + 1)).map(|i| i * sets as u64).collect();
+        // Warm-up round.
+        for &l in &lines {
+            c.probe(l);
+            c.insert(l);
+        }
+        c.flush_counters();
+        for _ in 0..3 {
+            for &l in &lines {
+                let hit = c.probe(l);
+                assert!(!hit, "line {l} unexpectedly hit");
+                c.insert(l);
+            }
+        }
+    }
+
+    #[test]
+    fn within_capacity_always_hits_after_warmup() {
+        let mut c = SetAssocCache::new(2, 2);
+        let lines = [0u64, 1, 2, 3]; // exactly fills both sets
+        for &l in &lines {
+            c.probe(l);
+            c.insert(l);
+        }
+        for _ in 0..3 {
+            for &l in &lines {
+                assert!(c.probe(l));
+            }
+        }
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(1);
+        c.probe(1);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_tracks_probes() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.probe(5); // miss
+        c.insert(5);
+        c.probe(5); // hit
+        c.probe(5); // hit
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    impl SetAssocCache {
+        fn flush_counters(&mut self) {
+            self.hits = 0;
+            self.misses = 0;
+        }
+    }
+}

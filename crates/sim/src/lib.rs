@@ -1,0 +1,46 @@
+//! # servet-sim
+//!
+//! Machine simulator substrate for the Servet reproduction.
+//!
+//! The paper ran its benchmarks on real multicore clusters (Dunnington,
+//! Finis Terrae, Dempsey, Athlon). This crate builds the equivalent machines
+//! in software so the *same benchmark algorithms* can observe the same
+//! phenomena deterministically:
+//!
+//! * [`spec`] — machine descriptions: cache levels with explicit sharing
+//!   groups, physical/virtual indexing, memory resources (buses, cells,
+//!   controllers) with capacities.
+//! * [`presets`] — the paper's four evaluation machines plus small synthetic
+//!   machines for fast tests.
+//! * [`cache`] — set-associative LRU caches.
+//! * [`vm`] — per-process address spaces with random (Linux-like), colored,
+//!   or contiguous page-frame allocation. Random allocation is what makes
+//!   physically indexed caches *probabilistic*, the effect the paper's
+//!   Fig. 3 algorithm exploits.
+//! * [`prefetch`] — a stride prefetcher covering strides up to 512 B, which
+//!   is why mcalibrator strides by 1 KB.
+//! * [`machine`] — the cycle engine: single-core traversals and lockstep
+//!   multi-core traversals over the shared cache state, with memory-bus
+//!   serialization.
+//! * [`membw`] — max-min fair streaming-bandwidth model of the memory
+//!   system, used by the STREAM-like memory overhead benchmark.
+
+pub mod cache;
+pub mod machine;
+pub mod membw;
+pub mod prefetch;
+pub mod presets;
+pub mod spec;
+pub mod vm;
+
+pub use cache::SetAssocCache;
+pub use machine::{Machine, SimArray};
+pub use membw::{maxmin_fair, MemorySystem};
+pub use prefetch::StridePrefetcher;
+pub use spec::{CacheLevelSpec, CoreId, Indexing, MachineSpec, MemResource, MemorySpec};
+pub use vm::{AddressSpace, PageAllocPolicy};
+
+/// Kibibyte.
+pub const KB: usize = 1024;
+/// Mebibyte.
+pub const MB: usize = 1024 * 1024;

@@ -1,0 +1,624 @@
+//! The cycle engine: traversals over the simulated cache hierarchy.
+//!
+//! A [`Machine`] instantiates one [`SetAssocCache`] per sharing group of
+//! every cache level of its [`MachineSpec`], plus a per-core stride
+//! prefetcher and a per-bus serialization clock. It can run the
+//! Saavedra–Smith style strided traversal that mcalibrator is built on —
+//! on one core, or on several cores in lockstep so that shared caches see
+//! interleaved access streams and evict each other's lines, exactly the
+//! effect the shared-cache benchmark (paper Fig. 5) measures.
+
+use crate::cache::SetAssocCache;
+use crate::prefetch::StridePrefetcher;
+use crate::spec::{CoreId, Indexing, MachineSpec};
+use crate::vm::AddressSpace;
+
+/// A benchmark array: a span of virtual memory in its own address space
+/// (each benchmark process allocates its own array, as in the paper's MPI
+/// implementation).
+#[derive(Debug, Clone)]
+pub struct SimArray {
+    aspace: AddressSpace,
+    len: usize,
+}
+
+impl SimArray {
+    /// Array length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing address space.
+    pub fn aspace(&self) -> &AddressSpace {
+        &self.aspace
+    }
+}
+
+/// One traversal job for the lockstep engine.
+#[derive(Debug, Clone, Copy)]
+pub struct TraversalJob<'a> {
+    /// Core executing the traversal.
+    pub core: CoreId,
+    /// Array being traversed.
+    pub array: &'a SimArray,
+    /// Stride in bytes between accesses.
+    pub stride: usize,
+}
+
+/// A simulated shared-memory machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: MachineSpec,
+    /// `caches[level][group]`.
+    caches: Vec<Vec<SetAssocCache>>,
+    /// `group_of[level][core]` — index into `caches[level]`.
+    group_of: Vec<Vec<usize>>,
+    prefetchers: Vec<StridePrefetcher>,
+    /// Per-core data TLBs (fully associative LRU over `(asid, vpage)`),
+    /// when the spec declares one.
+    tlbs: Vec<Option<SetAssocCache>>,
+    /// Innermost memory resource index for each core, if any.
+    bus_of: Vec<Option<usize>>,
+    /// Cycle at which each memory resource becomes free.
+    bus_free_at: Vec<f64>,
+    /// Bytes per cycle each memory resource can move.
+    bus_bytes_per_cycle: Vec<f64>,
+    next_asid: u64,
+    seed: u64,
+}
+
+impl Machine {
+    /// Build a machine from a validated spec. Panics on an invalid spec —
+    /// specs are code, not user input.
+    pub fn new(spec: MachineSpec) -> Self {
+        Self::with_seed(spec, 0x5EED)
+    }
+
+    /// Build a machine with an explicit RNG seed for page allocation.
+    pub fn with_seed(spec: MachineSpec, seed: u64) -> Self {
+        spec.validate().expect("invalid machine spec");
+        let mut caches = Vec::new();
+        let mut group_of = Vec::new();
+        for cl in &spec.caches {
+            let instances: Vec<SetAssocCache> = cl
+                .sharing
+                .iter()
+                .map(|_| SetAssocCache::with_geometry(cl.size, cl.line_size, cl.associativity))
+                .collect();
+            let mut map = vec![usize::MAX; spec.num_cores];
+            for (gi, group) in cl.sharing.iter().enumerate() {
+                for &c in group {
+                    map[c] = gi;
+                }
+            }
+            caches.push(instances);
+            group_of.push(map);
+        }
+        let prefetchers = (0..spec.num_cores)
+            .map(|_| StridePrefetcher::new(spec.prefetch_max_stride))
+            .collect();
+        let tlbs = (0..spec.num_cores)
+            .map(|_| spec.tlb.map(|t| SetAssocCache::new(1, t.entries)))
+            .collect();
+        let bus_of = (0..spec.num_cores)
+            .map(|c| {
+                spec.memory
+                    .resources
+                    .iter()
+                    .position(|r| r.cores.contains(&c))
+            })
+            .collect();
+        let bus_bytes_per_cycle = spec
+            .memory
+            .resources
+            .iter()
+            .map(|r| r.capacity_gbs / spec.clock_ghz)
+            .collect();
+        let bus_free_at = vec![0.0; spec.memory.resources.len()];
+        Self {
+            spec,
+            caches,
+            group_of,
+            prefetchers,
+            tlbs,
+            bus_of,
+            bus_free_at,
+            bus_bytes_per_cycle,
+            next_asid: 1,
+            seed,
+        }
+    }
+
+    /// The machine's specification.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Allocate a benchmark array using the machine's page policy.
+    pub fn alloc_array(&mut self, len_bytes: usize) -> SimArray {
+        let policy = self.spec.page_alloc;
+        self.alloc_array_with_policy(len_bytes, policy)
+    }
+
+    /// Allocate a benchmark array with an explicit page policy (used by the
+    /// page-coloring ablation).
+    pub fn alloc_array_with_policy(
+        &mut self,
+        len_bytes: usize,
+        policy: crate::vm::PageAllocPolicy,
+    ) -> SimArray {
+        let asid = self.next_asid;
+        self.next_asid += 1;
+        SimArray {
+            aspace: AddressSpace::new(asid, len_bytes, self.spec.page_size, policy, self.seed),
+            len: len_bytes,
+        }
+    }
+
+    /// Flush every cache, reset prefetchers and bus clocks.
+    pub fn reset(&mut self) {
+        for level in &mut self.caches {
+            for c in level {
+                c.flush();
+            }
+        }
+        for p in &mut self.prefetchers {
+            p.reset();
+        }
+        for t in self.tlbs.iter_mut().flatten() {
+            t.flush();
+        }
+        for b in &mut self.bus_free_at {
+            *b = 0.0;
+        }
+    }
+
+    /// Line key for `level`: physical caches key on the physical line,
+    /// virtual ones on `(asid, virtual line)`.
+    #[inline]
+    fn line_key(&self, level: usize, aspace: &AddressSpace, vaddr: u64, paddr: u64) -> u64 {
+        let cl = &self.spec.caches[level];
+        let line_shift = cl.line_size.trailing_zeros();
+        match cl.indexing {
+            Indexing::Physical => paddr >> line_shift,
+            Indexing::Virtual => (aspace.asid() << 40) | (vaddr >> line_shift),
+        }
+    }
+
+    /// Perform one load on `core`, updating cache state; returns
+    /// `(cycles, went_to_memory)`. Bus serialization is handled by the
+    /// caller, which owns the per-core clocks.
+    fn access(&mut self, core: CoreId, aspace: &AddressSpace, vaddr: u64) -> (f64, bool) {
+        let paddr = aspace.translate(vaddr);
+        // Translation first: a TLB miss costs extra regardless of where
+        // the data itself is found.
+        let mut tlb_penalty = 0.0;
+        if let (Some(tlb), Some(spec)) = (self.tlbs[core].as_mut(), self.spec.tlb) {
+            let key = (aspace.asid() << 40) | (vaddr / self.spec.page_size as u64);
+            if !tlb.probe(key) {
+                tlb.insert(key);
+                tlb_penalty = spec.miss_cycles;
+            }
+        }
+        let covered = self.prefetchers[core].access(vaddr);
+        let nlev = self.spec.caches.len();
+        let mut hit_level = nlev; // nlev = memory
+        for li in 0..nlev {
+            let key = self.line_key(li, aspace, vaddr, paddr);
+            let g = self.group_of[li][core];
+            if self.caches[li][g].probe(key) {
+                hit_level = li;
+                break;
+            }
+        }
+        // Fill the line into every level above the hit level.
+        for li in 0..hit_level {
+            let key = self.line_key(li, aspace, vaddr, paddr);
+            let g = self.group_of[li][core];
+            self.caches[li][g].insert(key);
+        }
+        if hit_level == nlev {
+            if covered {
+                // The prefetcher already brought the line in; the demand
+                // access costs an L1 hit (memory traffic is not modeled for
+                // prefetches).
+                let l1 = self.spec.caches.first().map_or(1.0, |c| c.hit_cycles);
+                (l1 + tlb_penalty, false)
+            } else {
+                (self.spec.memory.latency_cycles + tlb_penalty, true)
+            }
+        } else {
+            (self.spec.caches[hit_level].hit_cycles + tlb_penalty, false)
+        }
+    }
+
+    /// Cycles to move one last-level line across `core`'s bus.
+    fn line_transfer_cycles(&self, core: CoreId) -> f64 {
+        let Some(bus) = self.bus_of[core] else {
+            return 0.0;
+        };
+        let line = self
+            .spec
+            .caches
+            .last()
+            .map_or(64, |c| c.line_size) as f64;
+        line / self.bus_bytes_per_cycle[bus]
+    }
+
+    /// Run `warmup` un-measured passes followed by `passes` measured passes
+    /// of a strided traversal on a single core. Returns average cycles per
+    /// access over the measured passes.
+    ///
+    /// This is the engine under the paper's Fig. 1 loop
+    /// (`for j = 0; j < size; j += A[j]`): the simulator performs the same
+    /// address sequence the real kernel would.
+    pub fn traverse(
+        &mut self,
+        core: CoreId,
+        array: &SimArray,
+        stride: usize,
+        warmup: usize,
+        passes: usize,
+    ) -> f64 {
+        let results = self.traverse_concurrent(
+            &[TraversalJob {
+                core,
+                array,
+                stride,
+            }],
+            warmup,
+            passes,
+        );
+        results[0]
+    }
+
+    /// Run several traversals concurrently in lockstep, one access at a time
+    /// from whichever core's virtual clock is furthest behind. Shared caches
+    /// see the interleaved stream; memory accesses serialize on each core's
+    /// innermost bus. Returns average measured cycles per access, per job.
+    pub fn traverse_concurrent(
+        &mut self,
+        jobs: &[TraversalJob<'_>],
+        warmup: usize,
+        passes: usize,
+    ) -> Vec<f64> {
+        assert!(!jobs.is_empty());
+        assert!(passes > 0, "need at least one measured pass");
+        for j in jobs {
+            assert!(j.stride > 0, "stride must be positive");
+            assert!(j.core < self.spec.num_cores, "core out of range");
+        }
+        let accesses_per_pass: Vec<usize> = jobs
+            .iter()
+            .map(|j| j.array.len().div_ceil(j.stride).max(1))
+            .collect();
+        let total: Vec<usize> = accesses_per_pass
+            .iter()
+            .map(|&a| a * (warmup + passes))
+            .collect();
+        let warm: Vec<usize> = accesses_per_pass.iter().map(|&a| a * warmup).collect();
+
+        let n = jobs.len();
+        let mut clock = vec![0.0f64; n];
+        let mut done = vec![0usize; n];
+        let mut measure_start = vec![0.0f64; n];
+        // Lockstep: always advance the most-behind unfinished job.
+        loop {
+            let Some(i) = (0..n)
+                .filter(|&i| done[i] < total[i])
+                .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
+            else {
+                break;
+            };
+            let job = &jobs[i];
+            let idx = done[i] % accesses_per_pass[i];
+            let vaddr = (idx * job.stride) as u64;
+            let (cost, mem) = self.access(job.core, job.array.aspace(), vaddr);
+            if mem {
+                if let Some(bus) = self.bus_of[job.core] {
+                    let transfer = self.line_transfer_cycles(job.core);
+                    let start = clock[i].max(self.bus_free_at[bus]);
+                    self.bus_free_at[bus] = start + transfer;
+                    clock[i] = start + transfer + cost;
+                } else {
+                    clock[i] += cost;
+                }
+            } else {
+                clock[i] += cost;
+            }
+            done[i] += 1;
+            if done[i] == warm[i] {
+                measure_start[i] = clock[i];
+            }
+        }
+        (0..n)
+            .map(|i| {
+                let measured = (total[i] - warm[i]) as f64;
+                (clock[i] - measure_start[i]) / measured
+            })
+            .collect()
+    }
+
+    /// Replay an arbitrary virtual-address trace on one core and return
+    /// the average cycles per access.
+    ///
+    /// This is the evaluation hook for autotuned kernels: a blocked matrix
+    /// multiply, say, can generate its exact access pattern and measure
+    /// how a tile size behaves on this machine's hierarchy.
+    pub fn run_trace(&mut self, core: CoreId, array: &SimArray, addrs: &[u64]) -> f64 {
+        assert!(!addrs.is_empty(), "empty trace");
+        let mut clock = 0.0f64;
+        let mut bus_free = self.bus_free_at.clone();
+        for &vaddr in addrs {
+            let (cost, mem) = self.access(core, array.aspace(), vaddr);
+            if mem {
+                if let Some(bus) = self.bus_of[core] {
+                    let transfer = self.line_transfer_cycles(core);
+                    let start = clock.max(bus_free[bus]);
+                    bus_free[bus] = start + transfer;
+                    clock = start + transfer + cost;
+                } else {
+                    clock += cost;
+                }
+            } else {
+                clock += cost;
+            }
+        }
+        self.bus_free_at = bus_free;
+        clock / addrs.len() as f64
+    }
+
+    /// Convenience: hit/miss statistics of the cache instance serving
+    /// `core` at `level` (1-based).
+    pub fn cache_stats(&self, level: u8, core: CoreId) -> Option<(u64, u64)> {
+        let li = self.spec.caches.iter().position(|c| c.level == level)?;
+        let g = self.group_of[li][core];
+        Some(self.caches[li][g].stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::vm::PageAllocPolicy;
+    use crate::KB;
+
+    /// Traversal cost of an array that fits L1 is the L1 hit cost.
+    #[test]
+    fn l1_resident_array_hits() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_array(4 * KB);
+        let cycles = m.traverse(0, &arr, KB, 1, 3);
+        assert!((cycles - 2.0).abs() < 1e-9, "cycles = {cycles}");
+    }
+
+    /// An array larger than L1 but within L2 costs the L2 hit time.
+    #[test]
+    fn l2_resident_array_costs_l2() {
+        let mut m = Machine::new(presets::tiny_smp());
+        // 32 KB: beyond the 8 KB L1, well within the (physically indexed)
+        // 64 KB L2 — use coloring so no page-set overflows.
+        let arr = m.alloc_array_with_policy(32 * KB, PageAllocPolicy::Colored);
+        let cycles = m.traverse(0, &arr, KB, 1, 3);
+        assert!((cycles - 10.0).abs() < 0.5, "cycles = {cycles}");
+    }
+
+    /// An array much larger than every cache costs about the memory latency.
+    #[test]
+    fn memory_resident_array_costs_memory() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_array(512 * KB);
+        let cycles = m.traverse(0, &arr, KB, 1, 2);
+        // latency 100 + fsb transfer 64 B at 3 GB/s / 1 GHz = ~21.3 cy.
+        assert!(cycles > 100.0 && cycles < 140.0, "cycles = {cycles}");
+    }
+
+    /// The cycles-per-access curve is monotone through the hierarchy.
+    #[test]
+    fn cost_rises_with_array_size() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let mut last = 0.0;
+        for size in [4 * KB, 16 * KB, 48 * KB, 256 * KB] {
+            let arr = m.alloc_array(size);
+            m.reset();
+            let c = m.traverse(0, &arr, KB, 1, 2);
+            assert!(
+                c >= last - 0.5,
+                "cost not monotone at {size}: {c} < {last}"
+            );
+            last = c;
+        }
+    }
+
+    /// Deterministic: same seed, same measurements.
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = Machine::with_seed(presets::tiny_smp(), seed);
+            let arr = m.alloc_array(128 * KB);
+            m.traverse(0, &arr, KB, 1, 2)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    /// Two cores thrashing a shared L2 see a large slowdown; private-L2
+    /// cores do not — the Fig. 5 signal.
+    #[test]
+    fn shared_l2_pair_thrashes() {
+        let spec = presets::tiny_shared_l2(); // 128 KB L2 shared by {0,1},{2,3}
+        let mut m = Machine::new(spec);
+        let size = 2 * 128 * KB / 3;
+        let a = m.alloc_array(size);
+        let b = m.alloc_array(size);
+        m.reset();
+        let refc = m.traverse(0, &a, KB, 1, 2);
+        m.reset();
+        let pair = m.traverse_concurrent(
+            &[
+                TraversalJob { core: 0, array: &a, stride: KB },
+                TraversalJob { core: 1, array: &b, stride: KB },
+            ],
+            1,
+            2,
+        );
+        let ratio = pair[0] / refc;
+        assert!(ratio > 2.0, "sharing ratio = {ratio}");
+
+        m.reset();
+        let apart = m.traverse_concurrent(
+            &[
+                TraversalJob { core: 0, array: &a, stride: KB },
+                TraversalJob { core: 2, array: &b, stride: KB },
+            ],
+            1,
+            2,
+        );
+        let ratio = apart[0] / refc;
+        assert!(ratio < 1.5, "non-sharing ratio = {ratio}");
+    }
+
+    /// Small-stride traversal is hidden by the prefetcher: this is why
+    /// mcalibrator strides by 1 KB (§III-A).
+    #[test]
+    fn prefetcher_hides_small_strides() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_array(256 * KB);
+        m.reset();
+        let seq = m.traverse(0, &arr, 64, 1, 1);
+        m.reset();
+        let strided = m.traverse(0, &arr, KB, 1, 1);
+        assert!(
+            seq < strided / 4.0,
+            "prefetched sequential {seq} should be far below strided {strided}"
+        );
+    }
+
+    /// Concurrent memory streams serialize on the shared bus. With one
+    /// outstanding access per core, queuing only appears when the line
+    /// transfer time rivals the memory latency, so this test narrows the
+    /// bus until it must.
+    #[test]
+    fn bus_serializes_memory_streams() {
+        let mut spec = presets::tiny_smp();
+        // 0.2 GB/s at 1 GHz -> 320 cycles per 64 B line, >> 100 cy latency.
+        spec.memory.resources[0].capacity_gbs = 0.2;
+        let mut m = Machine::new(spec);
+        let size = 512 * KB;
+        let a = m.alloc_array(size);
+        let b = m.alloc_array(size);
+        m.reset();
+        let solo = m.traverse(0, &a, KB, 1, 1);
+        m.reset();
+        let both = m.traverse_concurrent(
+            &[
+                TraversalJob { core: 0, array: &a, stride: KB },
+                TraversalJob { core: 1, array: &b, stride: KB },
+            ],
+            1,
+            1,
+        );
+        assert!(
+            both[0] > solo * 1.3,
+            "no bus contention visible: solo {solo}, both {}",
+            both[0]
+        );
+    }
+
+    /// Dunnington ground truth: core 0 + 12 share L2 (ratio > 2), core
+    /// 0 + 1 do not. This is the heart of paper Fig. 8(a).
+    #[test]
+    fn dunnington_l2_sharing_visible() {
+        let spec = presets::dunnington();
+        let l2 = spec.cache_size(2).unwrap();
+        let mut m = Machine::new(spec);
+        let size = 2 * l2 / 3;
+        let a = m.alloc_array(size);
+        let b = m.alloc_array(size);
+        m.reset();
+        let refc = m.traverse(0, &a, KB, 1, 2);
+        m.reset();
+        let sharing = m.traverse_concurrent(
+            &[
+                TraversalJob { core: 0, array: &a, stride: KB },
+                TraversalJob { core: 12, array: &b, stride: KB },
+            ],
+            1,
+            2,
+        );
+        m.reset();
+        let apart = m.traverse_concurrent(
+            &[
+                TraversalJob { core: 0, array: &a, stride: KB },
+                TraversalJob { core: 1, array: &b, stride: KB },
+            ],
+            1,
+            2,
+        );
+        let r_share = sharing[0] / refc;
+        let r_apart = apart[0] / refc;
+        assert!(r_share > 2.0, "0-12 ratio = {r_share}");
+        assert!(r_apart < 2.0, "0-1 ratio = {r_apart}");
+    }
+
+    /// A TLB-equipped machine charges misses once the page working set
+    /// exceeds the entry count.
+    #[test]
+    fn tlb_misses_appear_beyond_capacity() {
+        let spec = presets::tiny_with_tlb(); // 64 entries, 25 cy, 1 KB pages
+        let mut m = Machine::new(spec);
+        // 32 pages: fits the TLB -> steady state has no penalty.
+        let small = m.alloc_array(32 * KB);
+        m.reset();
+        let c_small = m.traverse(0, &small, KB, 1, 2);
+        // 128 pages: cyclic LRU thrashes all 64 entries -> +25 cy each.
+        let large = m.alloc_array(128 * KB);
+        m.reset();
+        let c_large = m.traverse(0, &large, KB, 1, 2);
+        // Compare with the TLB-free machine at the same sizes.
+        let mut base = Machine::new(presets::tiny_smp());
+        let small0 = base.alloc_array(32 * KB);
+        base.reset();
+        let b_small = base.traverse(0, &small0, KB, 1, 2);
+        let large0 = base.alloc_array(128 * KB);
+        base.reset();
+        let b_large = base.traverse(0, &large0, KB, 1, 2);
+        assert!((c_small - b_small).abs() < 1.0, "{c_small} vs {b_small}");
+        assert!(
+            c_large > b_large + 20.0,
+            "TLB penalty missing: {c_large} vs {b_large}"
+        );
+    }
+
+    #[test]
+    fn cache_stats_accessible() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_array(4 * KB);
+        m.traverse(0, &arr, KB, 0, 1);
+        let (h, mi) = m.cache_stats(1, 0).unwrap();
+        assert!(h + mi > 0);
+        assert!(m.cache_stats(9, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stride_panics() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_array(4 * KB);
+        m.traverse(0, &arr, 0, 0, 1);
+    }
+
+    #[test]
+    fn array_accessors() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_array(8 * KB);
+        assert_eq!(arr.len(), 8 * KB);
+        assert!(!arr.is_empty());
+        assert_eq!(arr.aspace().num_pages(), 8 * KB / m.spec().page_size);
+    }
+}

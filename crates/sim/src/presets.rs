@@ -1,0 +1,422 @@
+//! Machine presets.
+//!
+//! The four machines of the paper's experimental evaluation (§IV), plus
+//! small synthetic machines used to keep unit tests fast.
+//!
+//! Cache hit/miss costs are representative cycle counts for each
+//! microarchitecture, not vendor-exact figures: the Servet algorithms only
+//! consume *relative* shapes (plateaus, ratios, transitions), as the paper
+//! itself stresses by normalizing miss rates in Fig. 3.
+
+use crate::spec::{
+    CacheLevelSpec, CoreId, Indexing, MachineSpec, MemResource, MemorySpec, PageAllocPolicy,
+    TlbSpec,
+};
+use crate::{KB, MB};
+
+/// Private (per-core) sharing: one singleton group per core.
+fn private(cores: usize) -> Vec<Vec<CoreId>> {
+    (0..cores).map(|c| vec![c]).collect()
+}
+
+/// Groups of `k` consecutive cores: `{0..k}, {k..2k}, ...`.
+fn consecutive_groups(cores: usize, k: usize) -> Vec<Vec<CoreId>> {
+    (0..cores / k)
+        .map(|g| (g * k..(g + 1) * k).collect())
+        .collect()
+}
+
+/// The 24-core Dunnington node: 4 × Intel Xeon E7450 hexa-core, 2.40 GHz.
+///
+/// Per the paper (§IV and Fig. 8a): individual 32 KB L1; 3 MB L2 shared by
+/// core pairs; 12 MB L3 shared by the six cores of a processor; and an OS
+/// core numbering where processor `p` holds cores `{3p, 3p+1, 3p+2,
+/// 3p+12, 3p+13, 3p+14}` — so core 0 shares its L2 with core 12, not with
+/// core 1. A single front-side bus serves all cores, which is why the
+/// memory-overhead benchmark sees the same degradation for every pair
+/// (Fig. 9a).
+pub fn dunnington() -> MachineSpec {
+    let cores = 24;
+    // Processor p: cores {3p, 3p+1, 3p+2} ∪ {3p+12, 3p+13, 3p+14}.
+    let mut l3_groups = Vec::new();
+    let mut l2_groups = Vec::new();
+    for p in 0..4 {
+        let lo = 3 * p;
+        let a = [lo, lo + 1, lo + 2];
+        let b = [lo + 12, lo + 13, lo + 14];
+        l3_groups.push(a.iter().chain(b.iter()).copied().collect::<Vec<_>>());
+        // L2 shared by pairs: (3p+i, 3p+12+i).
+        for i in 0..3 {
+            l2_groups.push(vec![lo + i, lo + 12 + i]);
+        }
+    }
+    MachineSpec {
+        name: "dunnington".into(),
+        clock_ghz: 2.4,
+        num_cores: cores,
+        page_size: 4 * KB,
+        caches: vec![
+            CacheLevelSpec {
+                level: 1,
+                size: 32 * KB,
+                line_size: 64,
+                associativity: 8,
+                indexing: Indexing::Virtual,
+                sharing: private(cores),
+                hit_cycles: 3.0,
+            },
+            CacheLevelSpec {
+                level: 2,
+                size: 3 * MB,
+                line_size: 64,
+                associativity: 12,
+                indexing: Indexing::Physical,
+                sharing: l2_groups,
+                hit_cycles: 12.0,
+            },
+            CacheLevelSpec {
+                level: 3,
+                size: 12 * MB,
+                line_size: 64,
+                associativity: 24,
+                indexing: Indexing::Physical,
+                sharing: l3_groups,
+                hit_cycles: 45.0,
+            },
+        ],
+        memory: MemorySpec {
+            latency_cycles: 250.0,
+            core_stream_gbs: 4.0,
+            resources: vec![MemResource {
+                name: "fsb".into(),
+                capacity_gbs: 6.4,
+                cores: (0..cores).collect(),
+            }],
+        },
+        page_alloc: PageAllocPolicy::Random,
+        prefetch_max_stride: 512,
+        tlb: None,
+    }
+}
+
+/// One 16-core node of the Finis Terrae supercomputer: 8 × Itanium2
+/// Montvale dual-core, 1.60 GHz, two cells of 8 cores.
+///
+/// All caches are private (16 KB L1, 256 KB L2, 9 MB L3). Memory buses are
+/// shared by processor pairs (4 cores per bus); each cell has its own
+/// memory. Cross-cell concurrent accesses show no mutual overhead
+/// (Fig. 9a): each cell's cores reach their own memory.
+pub fn finis_terrae_node() -> MachineSpec {
+    let cores = 16;
+    let mut resources = Vec::new();
+    // Buses shared by pairs of dual-core processors: cores {0-3}, {4-7}, ...
+    for (i, group) in consecutive_groups(cores, 4).into_iter().enumerate() {
+        resources.push(MemResource {
+            name: format!("bus{i}"),
+            capacity_gbs: 4.5,
+            cores: group,
+        });
+    }
+    // Per-cell memory controllers: cores {0-7}, {8-15}.
+    for (i, group) in consecutive_groups(cores, 8).into_iter().enumerate() {
+        resources.push(MemResource {
+            name: format!("cell{i}"),
+            capacity_gbs: 6.0,
+            cores: group,
+        });
+    }
+    MachineSpec {
+        name: "finis_terrae".into(),
+        clock_ghz: 1.6,
+        num_cores: cores,
+        page_size: 4 * KB,
+        caches: vec![
+            CacheLevelSpec {
+                level: 1,
+                size: 16 * KB,
+                line_size: 64,
+                associativity: 4,
+                indexing: Indexing::Virtual,
+                sharing: private(cores),
+                hit_cycles: 2.0,
+            },
+            CacheLevelSpec {
+                level: 2,
+                size: 256 * KB,
+                line_size: 128,
+                associativity: 8,
+                indexing: Indexing::Physical,
+                sharing: private(cores),
+                hit_cycles: 8.0,
+            },
+            CacheLevelSpec {
+                level: 3,
+                size: 9 * MB,
+                line_size: 128,
+                associativity: 18,
+                indexing: Indexing::Physical,
+                sharing: private(cores),
+                hit_cycles: 25.0,
+            },
+        ],
+        memory: MemorySpec {
+            latency_cycles: 350.0,
+            core_stream_gbs: 4.0,
+            resources,
+        },
+        page_alloc: PageAllocPolicy::Random,
+        prefetch_max_stride: 512,
+        tlb: None,
+    }
+}
+
+/// The Dempsey machine: one Intel Xeon 5060 dual-core, 3.20 GHz, 16 KB L1
+/// and 2 MB L2 per core.
+///
+/// This is the paper's showcase for the probabilistic algorithm: without
+/// page coloring the L2 transition is smeared over [512 KB, 2 MB]
+/// (Fig. 2), a naive peak reading yields 1 MB, and the Fig. 3 algorithm
+/// recovers the correct 2 MB.
+pub fn dempsey() -> MachineSpec {
+    let cores = 2;
+    MachineSpec {
+        name: "dempsey".into(),
+        clock_ghz: 3.2,
+        num_cores: cores,
+        page_size: 4 * KB,
+        caches: vec![
+            CacheLevelSpec {
+                level: 1,
+                size: 16 * KB,
+                line_size: 64,
+                associativity: 8,
+                indexing: Indexing::Virtual,
+                sharing: private(cores),
+                hit_cycles: 3.0,
+            },
+            CacheLevelSpec {
+                level: 2,
+                size: 2 * MB,
+                line_size: 64,
+                associativity: 8,
+                indexing: Indexing::Physical,
+                sharing: private(cores),
+                hit_cycles: 14.0,
+            },
+        ],
+        memory: MemorySpec {
+            latency_cycles: 300.0,
+            core_stream_gbs: 3.0,
+            resources: vec![MemResource {
+                name: "fsb".into(),
+                capacity_gbs: 4.2,
+                cores: (0..cores).collect(),
+            }],
+        },
+        page_alloc: PageAllocPolicy::Random,
+        prefetch_max_stride: 512,
+        tlb: None,
+    }
+}
+
+/// The unicore AMD Athlon 3200, 2 GHz, 64 KB L1 and 512 KB L2.
+pub fn athlon3200() -> MachineSpec {
+    MachineSpec {
+        name: "athlon3200".into(),
+        clock_ghz: 2.0,
+        num_cores: 1,
+        page_size: 4 * KB,
+        caches: vec![
+            CacheLevelSpec {
+                level: 1,
+                size: 64 * KB,
+                line_size: 64,
+                associativity: 2,
+                indexing: Indexing::Virtual,
+                sharing: private(1),
+                hit_cycles: 3.0,
+            },
+            CacheLevelSpec {
+                level: 2,
+                size: 512 * KB,
+                line_size: 64,
+                associativity: 16,
+                indexing: Indexing::Physical,
+                sharing: private(1),
+                hit_cycles: 12.0,
+            },
+        ],
+        memory: MemorySpec {
+            latency_cycles: 200.0,
+            core_stream_gbs: 2.5,
+            resources: vec![MemResource {
+                name: "fsb".into(),
+                capacity_gbs: 3.0,
+                cores: vec![0],
+            }],
+        },
+        page_alloc: PageAllocPolicy::Random,
+        prefetch_max_stride: 512,
+        tlb: None,
+    }
+}
+
+/// A small 4-core SMP with private 8 KB L1 and private 64 KB L2, used to
+/// keep unit tests fast. One shared front-side bus.
+///
+/// Pages are 1 KB so that even these little caches span enough pages for
+/// the binomial statistics of physically indexed caches to be
+/// well-behaved — the same page-count-to-cache-size ratio the paper's
+/// machines have with 4 KB pages and megabyte caches.
+pub fn tiny_smp() -> MachineSpec {
+    let cores = 4;
+    MachineSpec {
+        name: "tiny_smp".into(),
+        clock_ghz: 1.0,
+        num_cores: cores,
+        page_size: KB,
+        caches: vec![
+            CacheLevelSpec {
+                level: 1,
+                size: 8 * KB,
+                line_size: 64,
+                associativity: 2,
+                indexing: Indexing::Virtual,
+                sharing: private(cores),
+                hit_cycles: 2.0,
+            },
+            CacheLevelSpec {
+                level: 2,
+                size: 64 * KB,
+                line_size: 64,
+                associativity: 4,
+                indexing: Indexing::Physical,
+                sharing: private(cores),
+                hit_cycles: 10.0,
+            },
+        ],
+        memory: MemorySpec {
+            latency_cycles: 100.0,
+            core_stream_gbs: 2.0,
+            resources: vec![MemResource {
+                name: "fsb".into(),
+                capacity_gbs: 3.0,
+                cores: (0..cores).collect(),
+            }],
+        },
+        page_alloc: PageAllocPolicy::Random,
+        prefetch_max_stride: 512,
+        tlb: None,
+    }
+}
+
+/// A small 4-core machine whose L2 is shared by core pairs {0,1} and
+/// {2,3} — the cheapest machine on which the shared-cache benchmark has
+/// something to find.
+pub fn tiny_shared_l2() -> MachineSpec {
+    let mut spec = tiny_smp();
+    spec.name = "tiny_shared_l2".into();
+    spec.caches[1].sharing = consecutive_groups(4, 2);
+    spec.caches[1].size = 128 * KB;
+    spec
+}
+
+/// A small two-cell NUMA machine: 8 cores, two cells of 4, per-cell
+/// memory controllers and per-pair buses — a miniature Finis Terrae for
+/// fast memory-overhead tests.
+pub fn tiny_numa() -> MachineSpec {
+    let cores = 8;
+    let mut spec = tiny_smp();
+    spec.name = "tiny_numa".into();
+    spec.num_cores = cores;
+    for c in &mut spec.caches {
+        c.sharing = private(cores);
+    }
+    let mut resources = Vec::new();
+    for (i, group) in consecutive_groups(cores, 2).into_iter().enumerate() {
+        resources.push(MemResource {
+            name: format!("bus{i}"),
+            capacity_gbs: 2.5,
+            cores: group,
+        });
+    }
+    for (i, group) in consecutive_groups(cores, 4).into_iter().enumerate() {
+        resources.push(MemResource {
+            name: format!("cell{i}"),
+            capacity_gbs: 3.5,
+            cores: group,
+        });
+    }
+    spec.memory.resources = resources;
+    spec.memory.core_stream_gbs = 2.0;
+    spec
+}
+
+/// The tiny SMP with a 64-entry data TLB (25-cycle miss), for the TLB
+/// micro-probe extension.
+pub fn tiny_with_tlb() -> MachineSpec {
+    let mut spec = tiny_smp();
+    spec.name = "tiny_tlb".into();
+    spec.tlb = Some(TlbSpec {
+        entries: 64,
+        miss_cycles: 25.0,
+    });
+    spec
+}
+
+/// All four paper machines, in the order the paper introduces them.
+pub fn paper_machines() -> Vec<MachineSpec> {
+    vec![dunnington(), finis_terrae_node(), dempsey(), athlon3200()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dunnington_numbering_matches_fig8a() {
+        let d = dunnington();
+        // Processor 1 holds {3,4,5,15,16,17}; core 3 pairs with 15 on L2.
+        assert!(d.caches[1].shares(3, 15));
+        assert!(d.caches[2].shares(3, 17));
+        assert!(!d.caches[2].shares(2, 3));
+    }
+
+    #[test]
+    fn way_size_accommodates_1kb_stride() {
+        // The Saavedra–Smith traversal relies on the 1 KB stride being no
+        // larger than any cache's way size (size / associativity), so an
+        // array of exactly the cache size fills it without early thrashing.
+        for m in paper_machines() {
+            for c in &m.caches {
+                assert!(
+                    c.size / c.associativity >= KB,
+                    "{} L{} way too small",
+                    m.name,
+                    c.level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_machines_are_small() {
+        assert!(tiny_smp().caches.iter().all(|c| c.size <= 128 * KB));
+        assert_eq!(tiny_shared_l2().sharing_pairs(2), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn tiny_numa_resources() {
+        let m = tiny_numa();
+        m.validate().unwrap();
+        assert_eq!(m.memory.resources.len(), 4 + 2);
+    }
+
+    #[test]
+    fn paper_machine_count() {
+        assert_eq!(paper_machines().len(), 4);
+        // 10 cache sizes across the four machines (§IV-A).
+        let total: usize = paper_machines().iter().map(|m| m.caches.len()).sum();
+        assert_eq!(total, 10);
+    }
+}

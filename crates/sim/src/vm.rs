@@ -1,0 +1,227 @@
+//! Virtual memory: per-process address spaces and page-frame allocation.
+//!
+//! The paper's key observation (§III-A, after Yotov et al.): "contiguity in
+//! virtual memory does not imply adjacency in physical memory", so tests of
+//! physically indexed caches see conflict misses for arrays much smaller
+//! than the cache. The OS policy decides how bad this is:
+//!
+//! * [`PageAllocPolicy::Random`] — frames drawn uniformly at random, the
+//!   Linux-like default. Produces the binomial page-set occupancy the
+//!   Fig. 3 algorithm models.
+//! * [`PageAllocPolicy::Colored`] — page coloring: the frame's color bits
+//!   equal the virtual page's, so physically indexed caches behave like
+//!   virtually indexed ones (sharp transitions).
+//! * [`PageAllocPolicy::Contiguous`] — superpage-style physically
+//!   contiguous allocation, the non-portable workaround the paper
+//!   criticizes.
+
+pub use crate::spec::PageAllocPolicy;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Number of physical frames in the simulated machine (4 KB pages →
+/// 64 GB of physical memory). Large enough that random allocation almost
+/// never recycles a frame between two arrays of one experiment.
+const PHYS_FRAMES: u64 = 1 << 24;
+
+/// Number of frame colors used by the [`PageAllocPolicy::Colored`] policy.
+/// 256 colors × 4 KB pages = 1 MB per color way, enough to color every
+/// cache in the presets.
+const COLORS: u64 = 256;
+
+/// A process address space: a mapping from virtual pages to physical
+/// frames, built eagerly for the span of one benchmark array.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    /// Unique id, used to tag lines of virtually indexed caches so two
+    /// processes' identical virtual addresses never alias.
+    asid: u64,
+    page_size: u64,
+    /// `frames[v]` is the physical frame backing virtual page `v`.
+    frames: Vec<u64>,
+}
+
+impl AddressSpace {
+    /// Map `len_bytes` of virtual memory starting at virtual address 0,
+    /// choosing frames according to `policy`. `seed` makes the mapping
+    /// reproducible; distinct `asid`s draw distinct frames.
+    pub fn new(
+        asid: u64,
+        len_bytes: usize,
+        page_size: usize,
+        policy: PageAllocPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(page_size.is_power_of_two());
+        let pages = len_bytes.div_ceil(page_size).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ asid.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let frames = match policy {
+            PageAllocPolicy::Random => {
+                let mut used = HashSet::with_capacity(pages);
+                let mut frames = Vec::with_capacity(pages);
+                while frames.len() < pages {
+                    let f = rng.gen_range(0..PHYS_FRAMES);
+                    if used.insert(f) {
+                        frames.push(f);
+                    }
+                }
+                frames
+            }
+            PageAllocPolicy::Colored => {
+                // Preserve the virtual page's color; randomize the rest.
+                let mut used = HashSet::with_capacity(pages);
+                let mut frames = Vec::with_capacity(pages);
+                for v in 0..pages as u64 {
+                    let color = v % COLORS;
+                    loop {
+                        let high = rng.gen_range(0..PHYS_FRAMES / COLORS);
+                        let f = high * COLORS + color;
+                        if used.insert(f) {
+                            frames.push(f);
+                            break;
+                        }
+                    }
+                }
+                frames
+            }
+            PageAllocPolicy::Contiguous => {
+                let base = rng.gen_range(0..PHYS_FRAMES - pages as u64);
+                (base..base + pages as u64).collect()
+            }
+        };
+        Self {
+            asid,
+            page_size: page_size as u64,
+            frames,
+        }
+    }
+
+    /// The address-space id.
+    pub fn asid(&self) -> u64 {
+        self.asid
+    }
+
+    /// Number of mapped pages.
+    pub fn num_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Mapped span in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.frames.len() * self.page_size as usize
+    }
+
+    /// Translate a virtual address to a physical address.
+    ///
+    /// Panics if `vaddr` is outside the mapped span — benchmark kernels
+    /// never touch unmapped memory, so an out-of-range access is a bug.
+    #[inline]
+    pub fn translate(&self, vaddr: u64) -> u64 {
+        let vpage = (vaddr / self.page_size) as usize;
+        let offset = vaddr % self.page_size;
+        self.frames[vpage] * self.page_size + offset
+    }
+
+    /// Physical frame of virtual page `vpage`.
+    pub fn frame_of(&self, vpage: usize) -> u64 {
+        self.frames[vpage]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 4096;
+
+    #[test]
+    fn translation_preserves_offsets() {
+        let a = AddressSpace::new(1, 8 * PS, PS, PageAllocPolicy::Random, 42);
+        for vaddr in [0u64, 5, 4096, 4097, 8191, 8 * 4096 - 1] {
+            let p = a.translate(vaddr);
+            assert_eq!(p % PS as u64, vaddr % PS as u64);
+        }
+    }
+
+    #[test]
+    fn random_mapping_is_deterministic_per_seed() {
+        let a = AddressSpace::new(1, 64 * PS, PS, PageAllocPolicy::Random, 7);
+        let b = AddressSpace::new(1, 64 * PS, PS, PageAllocPolicy::Random, 7);
+        let c = AddressSpace::new(1, 64 * PS, PS, PageAllocPolicy::Random, 8);
+        for v in 0..64 {
+            assert_eq!(a.frame_of(v), b.frame_of(v));
+        }
+        assert!((0..64).any(|v| a.frame_of(v) != c.frame_of(v)));
+    }
+
+    #[test]
+    fn distinct_asids_draw_distinct_mappings() {
+        let a = AddressSpace::new(1, 64 * PS, PS, PageAllocPolicy::Random, 7);
+        let b = AddressSpace::new(2, 64 * PS, PS, PageAllocPolicy::Random, 7);
+        assert!((0..64).any(|v| a.frame_of(v) != b.frame_of(v)));
+    }
+
+    #[test]
+    fn frames_are_unique_within_a_space() {
+        let a = AddressSpace::new(3, 512 * PS, PS, PageAllocPolicy::Random, 9);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..a.num_pages() {
+            assert!(seen.insert(a.frame_of(v)), "frame reused at page {v}");
+        }
+    }
+
+    #[test]
+    fn colored_mapping_preserves_color() {
+        let a = AddressSpace::new(4, 600 * PS, PS, PageAllocPolicy::Colored, 11);
+        for v in 0..a.num_pages() {
+            assert_eq!(a.frame_of(v) % COLORS, v as u64 % COLORS);
+        }
+    }
+
+    #[test]
+    fn contiguous_mapping_is_contiguous() {
+        let a = AddressSpace::new(5, 32 * PS, PS, PageAllocPolicy::Contiguous, 13);
+        let base = a.frame_of(0);
+        for v in 0..32 {
+            assert_eq!(a.frame_of(v), base + v as u64);
+        }
+    }
+
+    #[test]
+    fn zero_length_maps_one_page() {
+        let a = AddressSpace::new(6, 0, PS, PageAllocPolicy::Random, 1);
+        assert_eq!(a.num_pages(), 1);
+        assert_eq!(a.len_bytes(), PS);
+    }
+
+    #[test]
+    fn partial_page_rounds_up() {
+        let a = AddressSpace::new(7, PS + 1, PS, PageAllocPolicy::Random, 1);
+        assert_eq!(a.num_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_translation_panics() {
+        let a = AddressSpace::new(8, PS, PS, PageAllocPolicy::Random, 1);
+        a.translate(2 * PS as u64);
+    }
+
+    #[test]
+    fn random_frames_spread_over_page_sets() {
+        // Sanity check of the binomial premise: with many pages, the number
+        // landing in one of 64 groups is close to pages/64.
+        let pages = 4096;
+        let a = AddressSpace::new(9, pages * PS, PS, PageAllocPolicy::Random, 21);
+        let groups = 64u64;
+        let mut counts = vec![0usize; groups as usize];
+        for v in 0..pages {
+            counts[(a.frame_of(v) % groups) as usize] += 1;
+        }
+        let expected = pages / groups as usize;
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > expected / 2 && max < expected * 2, "min={min} max={max}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Binomial distribution with numerically stable tail probabilities.
+//!
+//! The probabilistic cache-size algorithm (paper Fig. 3) models the number of
+//! virtual pages `X` that land in one *page set* of a physically indexed
+//! cache as `X ~ B(NP, K*PS/CS)`, where `NP` is the number of pages touched,
+//! `K` the associativity, `PS` the page size and `CS` the tentative cache
+//! size. The predicted steady-state miss rate of a cyclic traversal is then
+//! `P(X > K)`: a set holding more than `K` pages thrashes under LRU.
+//!
+//! `NP` can reach tens of thousands (a 64 MB array of 4 KB pages), so the
+//! probability mass function is evaluated in log space via a Lanczos
+//! log-gamma.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for positive arguments, which is far more than the
+/// divergence comparison in the cache-size search needs.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the Lanczos approximation with g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma domain error: x = {x}");
+    if x < 0.5 {
+        // Reflection formula keeps small arguments accurate.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` — log of the binomial coefficient.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// A binomial distribution `B(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create `B(n, p)`. `p` is clamped to `[0, 1]` so callers sweeping
+    /// tentative cache sizes never panic on a degenerate candidate.
+    pub fn new(n: u64, p: f64) -> Self {
+        Self {
+            n,
+            p: p.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected value `n * p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n * p * (1 - p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass function `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let ln = ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln();
+        ln.exp()
+    }
+
+    /// Cumulative distribution `P(X <= k)`.
+    ///
+    /// Sums from the lighter tail for both speed and accuracy: the cache-size
+    /// search evaluates this for every `(CS, K)` candidate and every array
+    /// size, so the sum is truncated once terms become negligible relative to
+    /// the accumulated mass.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        let mean = self.mean();
+        if (k as f64) < mean {
+            // Left tail is the lighter one: sum it directly.
+            self.sum_pmf_range(0, k)
+        } else {
+            1.0 - self.sum_pmf_range(k + 1, self.n)
+        }
+    }
+
+    /// Survival function `P(X > k)` — the predicted miss rate of the paper's
+    /// Fig. 3 when `k` is the cache associativity.
+    pub fn sf(&self, k: u64) -> f64 {
+        (1.0 - self.cdf(k)).clamp(0.0, 1.0)
+    }
+
+    /// Sum `P(X = i)` for `i` in `[lo, hi]`, walking outward from the mode so
+    /// that the largest terms are accumulated first and the walk can stop
+    /// early once terms underflow relative to the running sum.
+    fn sum_pmf_range(&self, lo: u64, hi: u64) -> f64 {
+        debug_assert!(lo <= hi);
+        let mode = (self.mean().floor() as u64).clamp(lo, hi);
+        // Walk down from the in-range point closest to the mode, then up.
+        let mut total = 0.0f64;
+        let mut k = mode;
+        loop {
+            let term = self.pmf(k);
+            total += term;
+            if term < total * 1e-16 && k < mode {
+                break;
+            }
+            if k == lo {
+                break;
+            }
+            k -= 1;
+        }
+        let mut k = mode + 1;
+        while k <= hi {
+            let term = self.pmf(k);
+            total += term;
+            if term < total * 1e-16 {
+                break;
+            }
+            k += 1;
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Gamma(n+1) = n!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!(
+                close(got, (f as f64).ln(), 1e-10),
+                "ln_gamma({}) = {got}, want {}",
+                n + 1,
+                (f as f64).ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!(close(ln_choose(5, 2), 10.0f64.ln(), 1e-10));
+        assert!(close(ln_choose(10, 5), 252.0f64.ln(), 1e-10));
+        assert_eq!(ln_choose(3, 7), f64::NEG_INFINITY);
+        assert!(close(ln_choose(7, 0), 0.0, 1e-12));
+        assert!(close(ln_choose(7, 7), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(40, 0.3);
+        let total: f64 = (0..=40).map(|k| b.pmf(k)).sum();
+        assert!(close(total, 1.0, 1e-12), "total = {total}");
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        let b0 = Binomial::new(10, 0.0);
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.pmf(1), 0.0);
+        let b1 = Binomial::new(10, 1.0);
+        assert_eq!(b1.pmf(10), 1.0);
+        assert_eq!(b1.pmf(9), 0.0);
+    }
+
+    #[test]
+    fn cdf_exact_small_case() {
+        // B(4, 0.5): P(X <= 1) = (1 + 4) / 16
+        let b = Binomial::new(4, 0.5);
+        assert!(close(b.cdf(1), 5.0 / 16.0, 1e-12));
+        assert!(close(b.sf(1), 11.0 / 16.0, 1e-12));
+    }
+
+    #[test]
+    fn cdf_saturates() {
+        let b = Binomial::new(12, 0.7);
+        assert_eq!(b.cdf(12), 1.0);
+        assert_eq!(b.cdf(100), 1.0);
+        assert_eq!(b.sf(100), 0.0);
+    }
+
+    #[test]
+    fn sf_large_n_is_stable() {
+        // 64 MB of 4 KB pages = 16384 pages; must not overflow or NaN.
+        let b = Binomial::new(16_384, 8.0 * 4096.0 / (12.0 * 1024.0 * 1024.0));
+        let sf = b.sf(8);
+        assert!(sf.is_finite());
+        assert!((0.0..=1.0).contains(&sf));
+        // Mean ~ 42.7 >> 8, so almost every set overflows.
+        assert!(sf > 0.999, "sf = {sf}");
+    }
+
+    #[test]
+    fn sf_matches_papers_dempsey_intuition() {
+        // Dempsey: 2 MB 8-way cache, 4 KB pages. At 512 KB (128 pages) the
+        // expected pages per page-set is 2, so overflow is rare; at 4 MB
+        // (1024 pages, mean 16) overflow is near-certain.
+        let p = 8.0 * 4096.0 / (2.0 * 1024.0 * 1024.0);
+        let small = Binomial::new(128, p).sf(8);
+        let large = Binomial::new(1024, p).sf(8);
+        assert!(small < 0.01, "small = {small}");
+        assert!(large > 0.95, "large = {large}");
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let b = Binomial::new(100, 0.25);
+        assert!(close(b.mean(), 25.0, 1e-12));
+        assert!(close(b.variance(), 18.75, 1e-12));
+    }
+}

@@ -1,0 +1,191 @@
+//! Union-find and pair-list → group inference.
+//!
+//! §III-C of the paper: "if the list in `Pm[i]` has the pairs (0,1), (0,2),
+//! (3,4) and (3,5), it allows to identify two groups for the overhead
+//! `BW[i]`: {0,1,2} and {3,4,5}". That is connected components over the
+//! pair graph, computed here with a classic disjoint-set structure (path
+//! halving + union by size).
+
+/// Disjoint-set (union-find) over `0..n` with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl DisjointSet {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets containing `a` and `b`. Returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// All sets as sorted vectors, ordered by their smallest element.
+    pub fn sets(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = self.find(x);
+            by_root[r].push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_iter().filter(|s| !s.is_empty()).collect();
+        out.sort_by_key(|s| s[0]);
+        out
+    }
+}
+
+/// Infer the groups of mutually colliding elements from a list of pairs,
+/// exactly as the paper does for `Pm[i]` / `Pl[i]`.
+///
+/// Only elements that appear in at least one pair are returned (an isolated
+/// core suffers no overhead and belongs to no group). Groups are sorted and
+/// ordered by smallest member.
+pub fn groups_from_pairs(pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let Some(max) = pairs.iter().map(|&(a, b)| a.max(b)).max() else {
+        return Vec::new();
+    };
+    let mut ds = DisjointSet::new(max + 1);
+    let mut seen = vec![false; max + 1];
+    for &(a, b) in pairs {
+        ds.union(a, b);
+        seen[a] = true;
+        seen[b] = true;
+    }
+    ds.sets()
+        .into_iter()
+        .filter(|s| s.iter().any(|&x| seen[x]) && s.len() > 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        let groups = groups_from_pairs(&[(0, 1), (0, 2), (3, 4), (3, 5)]);
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn empty_pairs() {
+        assert!(groups_from_pairs(&[]).is_empty());
+    }
+
+    #[test]
+    fn unseen_elements_excluded() {
+        // Element 2 never appears in a pair: not part of any group.
+        let groups = groups_from_pairs(&[(0, 1), (3, 4)]);
+        assert_eq!(groups, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn transitive_chain_merges() {
+        let groups = groups_from_pairs(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(groups, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_idempotent() {
+        let groups = groups_from_pairs(&[(5, 6), (6, 5), (5, 6)]);
+        assert_eq!(groups, vec![vec![5, 6]]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut ds = DisjointSet::new(5);
+        assert_eq!(ds.components(), 5);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        assert!(ds.connected(0, 1));
+        assert!(!ds.connected(0, 2));
+        assert_eq!(ds.components(), 4);
+        assert_eq!(ds.set_size(0), 2);
+        assert_eq!(ds.set_size(3), 1);
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn sets_partition_everything() {
+        let mut ds = DisjointSet::new(6);
+        ds.union(0, 3);
+        ds.union(4, 5);
+        let sets = ds.sets();
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 6);
+        assert_eq!(sets, vec![vec![0, 3], vec![1], vec![2], vec![4, 5]]);
+    }
+
+    #[test]
+    fn union_by_size_keeps_find_consistent() {
+        let mut ds = DisjointSet::new(8);
+        for i in 0..7 {
+            ds.union(i, i + 1);
+        }
+        assert_eq!(ds.components(), 1);
+        let root = ds.find(0);
+        for i in 0..8 {
+            assert_eq!(ds.find(i), root);
+        }
+        assert_eq!(ds.set_size(7), 8);
+    }
+}

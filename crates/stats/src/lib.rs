@@ -1,0 +1,35 @@
+//! # servet-stats
+//!
+//! Statistics substrate for the Servet benchmark suite.
+//!
+//! Every detection algorithm in the paper reduces raw timing series to a
+//! handful of statistical primitives, collected here:
+//!
+//! * [`binomial`] — the binomial tail probability `P(X > K)` that drives the
+//!   probabilistic cache-size algorithm (paper Fig. 3), computed stably via
+//!   log-gamma so that page counts in the tens of thousands do not overflow.
+//! * [`gradient`](mod@gradient) — gradients `C[k+1]/C[k]` of a measurement series and peak
+//!   detection over them (paper Figs. 2b and 4).
+//! * [`cluster`] — one-dimensional tolerance clustering used to group "similar"
+//!   bandwidths (paper Fig. 6) and latencies (paper Fig. 7).
+//! * [`groups`] — a union-find (disjoint-set) structure plus the pair-list →
+//!   core-group inference the paper describes in §III-C ("the pairs
+//!   (0,1),(0,2),(3,4),(3,5) identify two groups {0,1,2} and {3,4,5}").
+//! * [`regress`] — least-squares line fitting, used by the Hockney / LogGP
+//!   baseline communication models of §III-D.
+//! * [`summary`] — means, medians, modes, percentiles and relative-error
+//!   helpers shared by all benchmarks.
+
+pub mod binomial;
+pub mod cluster;
+pub mod gradient;
+pub mod groups;
+pub mod regress;
+pub mod summary;
+
+pub use binomial::Binomial;
+pub use cluster::{cluster_by_tolerance, Cluster};
+pub use gradient::{find_peaks, gradient, merge_peaks, Peak};
+pub use groups::{groups_from_pairs, DisjointSet};
+pub use regress::{fit_line, LineFit};
+pub use summary::{geometric_mean, mean, median, mode, percentile, relative_error, stddev};

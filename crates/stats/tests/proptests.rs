@@ -1,0 +1,196 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use servet_stats::binomial::Binomial;
+use servet_stats::cluster::{cluster_by_tolerance, within_tolerance};
+use servet_stats::gradient::{find_peaks, gradient};
+use servet_stats::groups::{groups_from_pairs, DisjointSet};
+use servet_stats::regress::fit_line;
+use servet_stats::summary::{mean, median, mode, percentile, stddev};
+
+proptest! {
+    #[test]
+    fn binomial_sf_in_unit_interval(n in 0u64..5000, p in 0.0f64..=1.0, k in 0u64..5100) {
+        let sf = Binomial::new(n, p).sf(k);
+        prop_assert!((0.0..=1.0).contains(&sf), "sf = {sf}");
+        prop_assert!(sf.is_finite());
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_in_k(n in 1u64..2000, p in 0.01f64..0.99) {
+        let b = Binomial::new(n, p);
+        let ks: Vec<u64> = (0..=n.min(50)).collect();
+        let mut prev = -1.0;
+        for &k in &ks {
+            let c = b.cdf(k);
+            prop_assert!(c + 1e-12 >= prev, "cdf not monotone at k={k}: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn binomial_cdf_plus_sf_is_one(n in 1u64..2000, p in 0.0f64..=1.0, k in 0u64..2000) {
+        let b = Binomial::new(n, p);
+        let total = b.cdf(k) + b.sf(k);
+        prop_assert!((total - 1.0).abs() < 1e-9, "cdf+sf = {total}");
+    }
+
+    #[test]
+    fn binomial_sf_monotone_in_n(p in 0.05f64..0.5, k in 1u64..8) {
+        // More pages -> more overflow: sf(k) must not decrease with n.
+        let mut prev = 0.0;
+        for n in [10u64, 50, 100, 500, 1000] {
+            let sf = Binomial::new(n, p).sf(k);
+            prop_assert!(sf + 1e-9 >= prev, "sf not monotone at n={n}");
+            prev = sf;
+        }
+    }
+
+    #[test]
+    fn gradient_positive_series(c in prop::collection::vec(0.1f64..1e6, 2..64)) {
+        let g = gradient(&c);
+        prop_assert_eq!(g.len(), c.len() - 1);
+        for (k, &v) in g.iter().enumerate() {
+            prop_assert!((v - c[k + 1] / c[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn peaks_are_above_threshold_and_disjoint(
+        g in prop::collection::vec(0.5f64..3.0, 0..64),
+        threshold in 0.9f64..2.0,
+    ) {
+        let peaks = find_peaks(&g, threshold);
+        for p in &peaks {
+            prop_assert!(p.value > threshold);
+            prop_assert!(p.start <= p.index && p.index <= p.end);
+            for i in p.start..=p.end {
+                prop_assert!(g[i] > threshold);
+            }
+            // Region is maximal.
+            if p.start > 0 {
+                prop_assert!(g[p.start - 1] <= threshold);
+            }
+            if p.end + 1 < g.len() {
+                prop_assert!(g[p.end + 1] <= threshold);
+            }
+        }
+        for w in peaks.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+    }
+
+    #[test]
+    fn clusters_partition_items(
+        values in prop::collection::vec(0.1f64..100.0, 0..40),
+        tol in 0.0f64..0.5,
+    ) {
+        let items: Vec<(f64, usize)> =
+            values.iter().copied().zip(0..values.len()).collect();
+        let clusters = cluster_by_tolerance(items, tol);
+        let mut seen: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..values.len()).collect::<Vec<_>>());
+        for c in &clusters {
+            prop_assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn within_tolerance_is_symmetric(a in -1e6f64..1e6, b in -1e6f64..1e6, tol in 0.0f64..1.0) {
+        prop_assert_eq!(within_tolerance(a, b, tol), within_tolerance(b, a, tol));
+    }
+
+    #[test]
+    fn groups_cover_only_paired_elements(
+        pairs in prop::collection::vec((0usize..32, 0usize..32), 0..64),
+    ) {
+        let pairs: Vec<(usize, usize)> =
+            pairs.into_iter().filter(|&(a, b)| a != b).collect();
+        let groups = groups_from_pairs(&pairs);
+        // Every paired element appears exactly once across groups.
+        let mut paired: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        paired.sort_unstable();
+        paired.dedup();
+        let mut grouped: Vec<usize> = groups.iter().flatten().copied().collect();
+        grouped.sort_unstable();
+        prop_assert_eq!(grouped.clone(), paired);
+        // Both endpoints of every pair are in the same group.
+        for &(a, b) in &pairs {
+            let ga = groups.iter().position(|g| g.contains(&a));
+            let gb = groups.iter().position(|g| g.contains(&b));
+            prop_assert_eq!(ga, gb);
+        }
+    }
+
+    #[test]
+    fn disjoint_set_components_decrease_only(
+        n in 1usize..64,
+        ops in prop::collection::vec((0usize..64, 0usize..64), 0..128),
+    ) {
+        let mut ds = DisjointSet::new(n);
+        let mut prev = ds.components();
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            let merged = ds.union(a, b);
+            let now = ds.components();
+            if merged {
+                prop_assert_eq!(now, prev - 1);
+            } else {
+                prop_assert_eq!(now, prev);
+            }
+            prop_assert!(ds.connected(a, b));
+            prev = now;
+        }
+        let total: usize = ds.sets().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn fit_line_recovers_exact_lines(
+        intercept in -100.0f64..100.0,
+        slope in -10.0f64..10.0,
+        n in 3usize..20,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_between_min_and_max(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        let m = median(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn percentile_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..32)) {
+        let p25 = percentile(&xs, 0.25);
+        let p50 = percentile(&xs, 0.50);
+        let p75 = percentile(&xs, 0.75);
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        prop_assert!((p50 - median(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_is_a_member(xs in prop::collection::vec(0u32..10, 1..64)) {
+        let m = mode(&xs).unwrap();
+        prop_assert!(xs.contains(&m));
+    }
+
+    #[test]
+    fn stddev_nonnegative_and_shift_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..32),
+        shift in -1e3f64..1e3,
+    ) {
+        let s = stddev(&xs);
+        prop_assert!(s >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + shift).collect();
+        prop_assert!((stddev(&shifted) - s).abs() < 1e-6);
+        let _ = mean(&xs);
+    }
+}

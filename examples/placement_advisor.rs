@@ -1,0 +1,77 @@
+//! Placement advisor: measure a cluster with Servet, then map an
+//! application's processes onto cores using the measured profile — the
+//! §V use case of the paper, in the spirit of MPIPP but with measured
+//! (not documented) costs.
+//!
+//! ```text
+//! cargo run --release --example placement_advisor [ring|stencil|shift|master]
+//! ```
+
+use servet::prelude::*;
+
+fn main() {
+    let shape = std::env::args().nth(1).unwrap_or_else(|| "shift".into());
+
+    // 1. Measure the cluster (communication benchmark is what placement
+    //    needs; skip the rest for brevity).
+    println!("measuring a 2-node Finis Terrae with Servet ...");
+    let mut platform = SimPlatform::finis_terrae(2);
+    let config = SuiteConfig {
+        skip_shared: true,
+        skip_memory: true,
+        ..SuiteConfig::default()
+    };
+    let profile = run_full_suite(&mut platform, &config).profile;
+    let comm = profile.communication.as_ref().expect("comm ran");
+    println!(
+        "  {} communication layers over {} cores\n",
+        comm.num_layers(),
+        profile.total_cores
+    );
+
+    // 2. Describe the application.
+    let pattern = match shape.as_str() {
+        "ring" => CommPattern::ring(32, 16 * 1024),
+        "stencil" => CommPattern::stencil2d(4, 8, 16 * 1024),
+        "shift" => CommPattern::shift(16, 8, 16 * 1024),
+        "master" => CommPattern::master_worker(16, 16 * 1024),
+        other => {
+            eprintln!("unknown pattern '{other}'");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "application: {shape} pattern, {} ranks, {} B messages",
+        pattern.ranks, pattern.message_size
+    );
+
+    // 3. Optimize the mapping.
+    let placer = Placer::new(&profile);
+    let linear = placer.linear(&pattern);
+    let random = placer.random(&pattern, 1);
+    let greedy = placer.greedy(&pattern);
+    let anneal = placer.anneal(&pattern, 99, 6000);
+
+    println!("\npredicted cost per iteration:");
+    println!("  linear (rank i -> core i): {:>8.1} us", linear.cost_us);
+    println!("  random:                    {:>8.1} us", random.cost_us);
+    println!("  greedy swaps:              {:>8.1} us", greedy.cost_us);
+    println!("  simulated annealing:       {:>8.1} us", anneal.cost_us);
+
+    let best = if greedy.cost_us <= anneal.cost_us {
+        &greedy
+    } else {
+        &anneal
+    };
+    println!(
+        "\nbest mapping ({:.2}x better than linear):",
+        linear.cost_us / best.cost_us
+    );
+    for (rank, core) in best.mapping.iter().enumerate() {
+        print!("  rank {rank:>2} -> core {core:>2}");
+        if (rank + 1) % 4 == 0 {
+            println!();
+        }
+    }
+    println!();
+}

@@ -1,0 +1,90 @@
+//! Quickstart: run the full Servet suite on a simulated cluster and save
+//! the machine profile.
+//!
+//! ```text
+//! cargo run --release --example quickstart [tiny|dunnington|finis_terrae]
+//! ```
+//!
+//! The paper's workflow (§IV-E): run the suite once at installation time,
+//! store the results in a file, and let applications consult it to guide
+//! their optimizations.
+
+use servet::prelude::*;
+
+fn main() {
+    let machine = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let (mut platform, config) = match machine.as_str() {
+        "dunnington" => (SimPlatform::dunnington(), SuiteConfig::default()),
+        "finis_terrae" => (SimPlatform::finis_terrae(2), SuiteConfig::default()),
+        "tiny" => (SimPlatform::tiny_cluster(), SuiteConfig::small(256 * 1024)),
+        other => {
+            eprintln!("unknown machine '{other}'; use tiny | dunnington | finis_terrae");
+            std::process::exit(2);
+        }
+    };
+
+    println!("running the Servet suite on '{}' ...", platform.name());
+    let report = run_full_suite(&mut platform, &config);
+    let profile = &report.profile;
+
+    println!("\ncache hierarchy:");
+    for level in &profile.cache_levels {
+        println!(
+            "  L{}: {} KB  (detected via {:?})",
+            level.level,
+            level.size / 1024,
+            level.method
+        );
+    }
+
+    if let Some(shared) = &profile.shared_caches {
+        println!("\nshared caches:");
+        for level in &shared.levels {
+            if level.groups.is_empty() {
+                println!("  L{}: private to each core", level.level);
+            } else {
+                println!("  L{}: shared by groups {:?}", level.level, level.groups);
+            }
+        }
+    }
+
+    if let Some(memory) = &profile.memory {
+        println!(
+            "\nmemory: {:.2} GB/s isolated, {} contention class(es)",
+            memory.reference_gbs,
+            memory.overheads.len()
+        );
+        for class in &memory.overheads {
+            println!(
+                "  {:.2} GB/s when colliding within groups {:?}",
+                class.bandwidth_gbs, class.groups
+            );
+        }
+    }
+
+    if let Some(comm) = &profile.communication {
+        println!("\ncommunication layers (probe {} B):", comm.probe_size);
+        for (i, layer) in comm.layers.iter().enumerate() {
+            println!(
+                "  layer {i}: {:.2} us, {} pairs, rep {:?}",
+                layer.latency_us,
+                layer.pairs.len(),
+                layer.representative
+            );
+        }
+    }
+
+    let t = &report.timings;
+    println!(
+        "\nvirtual execution time (paper Table I analogue): {:.1} min",
+        t.total_s() / 60.0
+    );
+
+    let path = std::env::temp_dir().join(format!("servet-{}.json", profile.machine));
+    profile.save(&path).expect("profile written");
+    println!("profile saved to {}", path.display());
+
+    let back = MachineProfile::load(&path).expect("profile loads");
+    assert_eq!(&back, profile);
+    println!("round-trip load verified — applications can consult this file at run time");
+}

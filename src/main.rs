@@ -1,0 +1,304 @@
+//! The `servet` command-line tool: measure machines (simulated or real),
+//! inspect profiles, and ask for autotuning advice.
+//!
+//! ```text
+//! servet simulate dunnington --out dun.json     # run the suite on a preset
+//! servet probe --max-mb 64 --out here.json      # run it on THIS machine
+//! servet show dun.json                          # summarize a profile
+//! servet advise threads --profile dun.json      # memory-concurrency advice
+//! servet advise tile --profile dun.json --level 2
+//! servet advise bcast --profile dun.json --ranks 24 --bytes 32768
+//! ```
+
+use servet::autotune::collectives::select_broadcast;
+use servet::autotune::concurrency::advise_memory_threads;
+use servet::autotune::tiling::select_tile;
+use servet::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        Some("advise") => cmd_advise(&args[1..]),
+        Some("machines") => cmd_machines(),
+        Some("help") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'; try 'servet help'");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "servet — measure the hardware parameters autotuned codes need\n\
+         \n\
+         USAGE:\n\
+         \x20 servet simulate <machine> [--micro] [--out FILE]   run the suite on a simulated preset\n\
+         \x20 servet probe [--max-mb N] [--micro] [--out FILE]   run the suite on this machine\n\
+         \x20 servet show <profile.json>                         summarize a stored profile\n\
+         \x20 servet advise threads --profile FILE               memory-concurrency advice\n\
+         \x20 servet advise tile --profile FILE [--level L]      tile-size advice\n\
+         \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B]\n\
+         \x20 servet machines                                    list simulated presets"
+    );
+}
+
+/// Value of `--flag VALUE` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_machines() -> i32 {
+    println!("simulated machine presets:");
+    println!("  dunnington     24-core 4x Xeon E7450 node (paper SS IV)");
+    println!("  finis_terrae   2 nodes x 16 Itanium2 cores over InfiniBand");
+    println!("  dempsey        dual-core Xeon 5060");
+    println!("  athlon3200     unicore AMD Athlon");
+    println!("  tiny           fast 2x4-core demo cluster");
+    0
+}
+
+fn run_and_save(
+    platform: &mut dyn Platform,
+    config: &SuiteConfig,
+    out: Option<&str>,
+) -> i32 {
+    eprintln!("running the Servet suite on '{}' ...", platform.name());
+    let report = run_full_suite(platform, config);
+    print_profile(&report.profile);
+    println!(
+        "\nvirtual/wall benchmark time: {:.1} min",
+        report.timings.total_s() / 60.0
+    );
+    if let Some(path) = out {
+        if let Err(e) = report.profile.save(path) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("profile written to {path}");
+    }
+    0
+}
+
+fn cmd_simulate(args: &[String]) -> i32 {
+    let Some(machine) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: servet simulate <machine> [--micro] [--out FILE]");
+        return 2;
+    };
+    let (mut platform, mut config) = match machine.as_str() {
+        "dunnington" => (SimPlatform::dunnington(), SuiteConfig::default()),
+        "finis_terrae" => (SimPlatform::finis_terrae(2), SuiteConfig::default()),
+        "dempsey" => (SimPlatform::dempsey(), SuiteConfig::default()),
+        "athlon3200" => (SimPlatform::athlon3200(), SuiteConfig::default()),
+        "tiny" => (
+            SimPlatform::tiny_cluster(),
+            SuiteConfig::small(256 * 1024),
+        ),
+        other => {
+            eprintln!("unknown machine '{other}'; see 'servet machines'");
+            return 2;
+        }
+    };
+    config.run_micro = has_flag(args, "--micro");
+    run_and_save(&mut platform, &config, flag_value(args, "--out"))
+}
+
+fn cmd_probe(args: &[String]) -> i32 {
+    let max_mb: usize = flag_value(args, "--max-mb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut platform = HostPlatform::new();
+    let config = SuiteConfig {
+        mcalibrator: McalibratorConfig {
+            max_size: max_mb * 1024 * 1024,
+            ..Default::default()
+        },
+        detect: DetectConfig {
+            gradient_threshold: 1.2, // real machines are noisier
+            ..Default::default()
+        },
+        run_micro: has_flag(args, "--micro"),
+        ..Default::default()
+    };
+    run_and_save(&mut platform, &config, flag_value(args, "--out"))
+}
+
+fn load_profile(args: &[String]) -> Result<MachineProfile, i32> {
+    let Some(path) = flag_value(args, "--profile") else {
+        eprintln!("missing --profile FILE");
+        return Err(2);
+    };
+    MachineProfile::load(path).map_err(|e| {
+        eprintln!("cannot load {path}: {e}");
+        1
+    })
+}
+
+fn cmd_show(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: servet show <profile.json>");
+        return 2;
+    };
+    match MachineProfile::load(path) {
+        Ok(profile) => {
+            print_profile(&profile);
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_advise(args: &[String]) -> i32 {
+    let Some(what) = args.first() else {
+        eprintln!("usage: servet advise <threads|tile|bcast> --profile FILE");
+        return 2;
+    };
+    let profile = match load_profile(&args[1..]) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    match what.as_str() {
+        "threads" => {
+            let Some(memory) = profile.memory.as_ref() else {
+                eprintln!("profile has no memory characterization");
+                return 1;
+            };
+            match advise_memory_threads(memory, 0.05) {
+                Some(a) => {
+                    println!(
+                        "memory-bound regions: use {} concurrent thread(s) per group {:?}",
+                        a.threads_per_group, a.group
+                    );
+                    println!(
+                        "  aggregate {:.2} GB/s (full group would get {:.2} GB/s)",
+                        a.aggregate_gbs, a.full_aggregate_gbs
+                    );
+                }
+                None => println!("no memory contention measured: use every core"),
+            }
+            0
+        }
+        "tile" => {
+            let level: u8 = flag_value(&args[1..], "--level")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            match select_tile(&profile, level, 8, 3, 0.75) {
+                Some(choice) => {
+                    println!(
+                        "blocked matmul over f64: tile {} x {} targets the {} KB L{}",
+                        choice.tile,
+                        choice.tile,
+                        choice.cache_size / 1024,
+                        choice.level
+                    );
+                    0
+                }
+                None => {
+                    eprintln!("profile has no cache level {level}");
+                    1
+                }
+            }
+        }
+        "bcast" => {
+            if profile.communication.is_none() {
+                eprintln!("profile has no communication characterization");
+                return 1;
+            }
+            let ranks: usize = flag_value(&args[1..], "--ranks")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(profile.total_cores);
+            let bytes: usize = flag_value(&args[1..], "--bytes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(32 * 1024);
+            println!("broadcast of {bytes} B to {ranks} ranks — predicted:");
+            for p in select_broadcast(&profile, ranks.min(profile.total_cores), bytes) {
+                println!("  {:>12}: {:>9.1} us", p.algorithm.name(), p.predicted_us);
+            }
+            0
+        }
+        other => {
+            eprintln!("unknown advice '{other}'; use threads | tile | bcast");
+            2
+        }
+    }
+}
+
+fn print_profile(profile: &MachineProfile) {
+    println!(
+        "machine '{}': {} cores/node, {} total, {} B pages",
+        profile.machine, profile.cores_per_node, profile.total_cores, profile.page_size
+    );
+    println!("cache hierarchy:");
+    for level in &profile.cache_levels {
+        let shared = profile.cores_sharing_cache(level.level, 0);
+        let sharing = if shared.is_empty() {
+            "private".to_string()
+        } else {
+            format!("core 0 shares with {shared:?}")
+        };
+        println!(
+            "  L{}: {:>8} KB  [{:?}] {}",
+            level.level,
+            level.size / 1024,
+            level.method,
+            sharing
+        );
+    }
+    if let Some(micro) = &profile.micro {
+        if let Some(line) = micro.line_size {
+            println!("  line size: {line} B");
+        }
+        if let Some(ways) = micro.l1_associativity {
+            println!("  L1 associativity: {ways}-way");
+        }
+        if let Some(entries) = micro.tlb_entries {
+            println!("  data TLB: >= {entries} entries");
+        }
+    }
+    if let Some(memory) = &profile.memory {
+        println!(
+            "memory: {:.2} GB/s isolated, {} contention class(es)",
+            memory.reference_gbs,
+            memory.overheads.len()
+        );
+        for class in &memory.overheads {
+            println!(
+                "  {:.2} GB/s within groups of {:?}",
+                class.bandwidth_gbs,
+                class.groups.iter().map(Vec::len).collect::<Vec<_>>()
+            );
+        }
+    }
+    if let Some(comm) = &profile.communication {
+        println!("communication layers (probe {} B):", comm.probe_size);
+        for (i, layer) in comm.layers.iter().enumerate() {
+            let degradation = layer
+                .scalability
+                .last()
+                .map(|&(n, _, s)| format!(", {s:.1}x at {n} concurrent msgs"))
+                .unwrap_or_default();
+            println!(
+                "  layer {i}: {:.2} us, {} pairs{degradation}",
+                layer.latency_us,
+                layer.pairs.len()
+            );
+        }
+    }
+}

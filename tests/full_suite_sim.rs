@@ -1,0 +1,159 @@
+//! End-to-end suite runs on simulated machines.
+//!
+//! Fast cases (tiny machines) run in every profile; the paper-scale
+//! machines are release-only (`--release`), since the cycle engine in
+//! debug mode makes the full sweeps slow.
+
+use servet::prelude::*;
+
+#[test]
+fn tiny_cluster_full_pipeline() {
+    let mut platform = SimPlatform::tiny_cluster().with_noise(0.003);
+    let report = run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024));
+    let profile = &report.profile;
+
+    // Ground truth of the tiny machine: 8 KB L1, 64 KB L2, all private,
+    // one FSB contention class, four communication layers.
+    assert_eq!(profile.cache_size(1), Some(8 * 1024));
+    assert_eq!(profile.cache_size(2), Some(64 * 1024));
+    assert!(!profile.shared_caches.as_ref().unwrap().any_shared());
+    assert_eq!(profile.memory.as_ref().unwrap().num_classes(), 1);
+    assert_eq!(profile.communication.as_ref().unwrap().num_layers(), 4);
+    assert!(report.timings.total_s() > 0.0);
+}
+
+#[test]
+fn tiny_shared_l2_topology_recovered() {
+    let mut platform = SimPlatform::tiny_shared_l2().with_noise(0.003);
+    let report = run_full_suite(&mut platform, &SuiteConfig::small(384 * 1024));
+    let shared = report.profile.shared_caches.as_ref().unwrap();
+    assert_eq!(shared.levels[1].groups, vec![vec![0, 1], vec![2, 3]]);
+    assert_eq!(report.profile.cores_sharing_cache(2, 0), vec![1]);
+    assert!(report.profile.cores_sharing_cache(1, 0).is_empty());
+}
+
+#[test]
+fn tiny_numa_memory_structure_recovered() {
+    let mut platform = SimPlatform::tiny_numa().with_noise(0.003);
+    let report = run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024));
+    let memory = report.profile.memory.as_ref().unwrap();
+    assert_eq!(memory.num_classes(), 2);
+    assert_eq!(memory.overheads[0].groups[0], vec![0, 1]);
+    assert_eq!(memory.overheads[1].groups[0], vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn suite_is_deterministic_for_fixed_seed() {
+    let run = || {
+        let mut platform = SimPlatform::tiny_cluster().with_seed(99).with_noise(0.004);
+        run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn profile_json_file_round_trip() {
+    let mut platform = SimPlatform::tiny_cluster().with_noise(0.002);
+    let report = run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024));
+    let dir = std::env::temp_dir().join("servet-int-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.json");
+    report.profile.save(&path).unwrap();
+    let loaded = MachineProfile::load(&path).unwrap();
+    assert_eq!(loaded, report.profile);
+    std::fs::remove_file(&path).ok();
+}
+
+#[cfg_attr(
+    debug_assertions,
+    ignore = "paper-scale machine; run with --release"
+)]
+#[test]
+fn dunnington_full_suite_matches_paper() {
+    let mut platform = SimPlatform::dunnington();
+    let report = run_full_suite(&mut platform, &SuiteConfig::default());
+    let profile = &report.profile;
+
+    // §IV-A: cache sizes.
+    assert_eq!(profile.cache_size(1), Some(32 * 1024));
+    assert_eq!(profile.cache_size(2), Some(3 * 1024 * 1024));
+    assert_eq!(profile.cache_size(3), Some(12 * 1024 * 1024));
+
+    // Fig. 8a: core 0 shares L2 with 12, L3 with {1,2,12,13,14}.
+    assert_eq!(profile.cores_sharing_cache(2, 0), vec![12]);
+    assert_eq!(profile.cores_sharing_cache(3, 0), vec![1, 2, 12, 13, 14]);
+
+    // Fig. 9a: a single uniform overhead class.
+    assert_eq!(profile.memory.as_ref().unwrap().num_classes(), 1);
+
+    // Fig. 10a: three communication layers, shared-L2 fastest.
+    let comm = profile.communication.as_ref().unwrap();
+    assert_eq!(comm.num_layers(), 3);
+    assert_eq!(comm.layer_of(0, 12), Some(0));
+}
+
+#[cfg_attr(
+    debug_assertions,
+    ignore = "paper-scale machine; run with --release"
+)]
+#[test]
+fn finis_terrae_full_suite_matches_paper() {
+    let mut platform = SimPlatform::finis_terrae(2);
+    let report = run_full_suite(&mut platform, &SuiteConfig::default());
+    let profile = &report.profile;
+
+    assert_eq!(profile.cache_size(1), Some(16 * 1024));
+    assert_eq!(profile.cache_size(2), Some(256 * 1024));
+    assert_eq!(profile.cache_size(3), Some(9 * 1024 * 1024));
+    assert!(!profile.shared_caches.as_ref().unwrap().any_shared());
+
+    // Fig. 9a: bus and cell overhead classes.
+    let memory = profile.memory.as_ref().unwrap();
+    assert_eq!(memory.num_classes(), 2);
+    assert_eq!(memory.overheads[0].groups[0], vec![0, 1, 2, 3]);
+    assert_eq!(memory.overheads[1].groups[0], (0..8).collect::<Vec<_>>());
+
+    // Fig. 10: four layers; the paper's 7x InfiniBand degradation.
+    let comm = profile.communication.as_ref().unwrap();
+    assert_eq!(comm.num_layers(), 4);
+    let ib = comm.layers.last().unwrap();
+    let at32 = ib
+        .scalability
+        .iter()
+        .find(|&&(n, _, _)| n == 32)
+        .expect("32-message sweep");
+    assert!((6.0..8.0).contains(&at32.2), "slowdown = {}", at32.2);
+}
+
+#[cfg_attr(
+    debug_assertions,
+    ignore = "paper-scale machines; run with --release"
+)]
+#[test]
+fn cache_detection_robust_across_seeds() {
+    // The paper's 10/10 result should not depend on one lucky page-
+    // allocation seed.
+    for seed in [11u64, 222, 3333] {
+        for (spec, truth) in [
+            (
+                servet::sim::presets::dempsey(),
+                vec![16 * 1024, 2 * 1024 * 1024],
+            ),
+            (
+                servet::sim::presets::finis_terrae_node(),
+                vec![16 * 1024, 256 * 1024, 9 * 1024 * 1024],
+            ),
+        ] {
+            let name = spec.name.clone();
+            let machine = servet::sim::Machine::with_seed(spec, seed);
+            let mut platform = servet::core::SimPlatform::new(machine, None).with_seed(seed);
+            let sweep = mcalibrator(&mut platform, 0, &McalibratorConfig::default());
+            let levels =
+                detect_cache_levels(&sweep, platform.page_size(), &DetectConfig::default());
+            let sizes: Vec<usize> = levels.iter().map(|l| l.size).collect();
+            assert_eq!(sizes, truth, "{name} seed {seed}");
+        }
+    }
+}
