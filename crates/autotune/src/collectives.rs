@@ -57,8 +57,8 @@ pub fn predict_broadcast_us(
         }
         BcastAlgorithm::Hierarchical => {
             let per_node = profile.cores_per_node.max(1);
-            let nodes: Vec<Vec<usize>> = (0..ranks)
-                .fold(Vec::new(), |mut acc: Vec<Vec<usize>>, r| {
+            let nodes: Vec<Vec<usize>> =
+                (0..ranks).fold(Vec::new(), |mut acc: Vec<Vec<usize>>, r| {
                     let node = r / per_node;
                     if acc.len() <= node {
                         acc.push(Vec::new());
@@ -149,7 +149,9 @@ mod tests {
         let prof = profile();
         let preds = select_broadcast(&prof, 8, 8 * 1024);
         assert_eq!(preds.len(), 3);
-        assert!(preds.windows(2).all(|w| w[0].predicted_us <= w[1].predicted_us));
+        assert!(preds
+            .windows(2)
+            .all(|w| w[0].predicted_us <= w[1].predicted_us));
     }
 
     #[test]

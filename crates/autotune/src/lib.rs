@@ -27,7 +27,7 @@ pub mod placement;
 pub mod tiling;
 
 pub use aggregation::{aggregation_decision, AggregationDecision};
-pub use concurrency::{advise_memory_threads, ConcurrencyAdvice};
 pub use collectives::select_broadcast;
+pub use concurrency::{advise_memory_threads, ConcurrencyAdvice};
 pub use placement::{CommPattern, PlacementResult, Placer};
 pub use tiling::{select_tile, TileChoice};

@@ -100,6 +100,7 @@ mod tests {
 
     fn profile_with_caches(sizes: &[usize]) -> MachineProfile {
         MachineProfile {
+            schema_version: servet_core::profile::SCHEMA_VERSION,
             machine: "synthetic".into(),
             cores_per_node: 1,
             total_cores: 1,

@@ -31,13 +31,9 @@ fn bench_placement(c: &mut Criterion) {
         b.iter(|| black_box(placer.greedy(&pattern)));
     });
     for iters in [500usize, 2000] {
-        group.bench_with_input(
-            BenchmarkId::new("anneal", iters),
-            &iters,
-            |b, &iters| {
-                b.iter(|| black_box(placer.anneal(&pattern, 5, iters)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("anneal", iters), &iters, |b, &iters| {
+            b.iter(|| black_box(placer.anneal(&pattern, 5, iters)));
+        });
     }
     group.finish();
 }

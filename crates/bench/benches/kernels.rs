@@ -51,7 +51,10 @@ fn bench_probabilistic_fit(c: &mut Criterion) {
     let sizes: Vec<usize> = (1..=10).map(|i| i * 512 * 1024).collect();
     let cycles: Vec<f64> = sizes
         .iter()
-        .map(|&s| 14.0 + 286.0 * predicted_miss_rate((s / page) as u64, p, true_k, MissRateModel::SizeBiased))
+        .map(|&s| {
+            14.0 + 286.0
+                * predicted_miss_rate((s / page) as u64, p, true_k, MissRateModel::SizeBiased)
+        })
         .collect();
     let grid = CandidateGrid::default();
     c.bench_function("probabilistic_size/dempsey_window", |b| {

@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the registry serving layer: what a tuner pays
+//! per advice request, and what the daemon sustains over loopback.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use servet_core::profile::MachineProfile;
+use servet_core::suite::{run_full_suite, SuiteConfig};
+use servet_core::SimPlatform;
+use servet_registry::{
+    compute_advice, profile_digest, serve, AdviceEngine, AdviceQuery, Registry, RegistryClient,
+    ServerConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn measured_profile() -> MachineProfile {
+    let mut platform = SimPlatform::tiny_cluster().with_noise(0.0);
+    run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024)).profile
+}
+
+fn temp_registry(tag: &str) -> Registry {
+    let dir = std::env::temp_dir().join(format!("servet-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Registry::open(dir).unwrap()
+}
+
+fn bench_digest_and_store(c: &mut Criterion) {
+    let profile = measured_profile();
+    let mut group = c.benchmark_group("registry_store");
+    group.bench_function("profile_digest", |b| {
+        b.iter(|| black_box(profile_digest(&profile)));
+    });
+    let registry = temp_registry("store");
+    let digest = registry.put(profile.clone(), Some("tiny")).unwrap();
+    group.bench_function("put_existing", |b| {
+        b.iter(|| black_box(registry.put(profile.clone(), None).unwrap()));
+    });
+    group.bench_function("get_hot_by_alias", |b| {
+        b.iter(|| black_box(registry.get("tiny").unwrap()));
+    });
+    group.bench_function("get_hot_by_digest", |b| {
+        b.iter(|| black_box(registry.get(&digest).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_advice(c: &mut Criterion) {
+    let profile = measured_profile();
+    let digest = profile_digest(&profile);
+    let query = AdviceQuery::Bcast {
+        ranks: 0,
+        bytes: 8 * 1024,
+    };
+    let mut group = c.benchmark_group("registry_advice");
+    group.bench_function("compute_bcast_cold", |b| {
+        b.iter(|| black_box(compute_advice(&profile, &query).unwrap()));
+    });
+    let engine = AdviceEngine::new();
+    engine.advise(&digest, &profile, &query).0.unwrap();
+    group.bench_function("advise_bcast_memoized", |b| {
+        b.iter(|| {
+            let (outcome, cached) = engine.advise(&digest, &profile, &query);
+            assert!(cached);
+            black_box(outcome.unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_loopback_round_trip(c: &mut Criterion) {
+    let profile = measured_profile();
+    let registry = Arc::new(temp_registry("serve"));
+    let server = serve(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_secs(30),
+        },
+    )
+    .unwrap();
+    let mut client = RegistryClient::connect(server.addr()).unwrap();
+    client.put(&profile, Some("tiny")).unwrap();
+    let query = AdviceQuery::Tile {
+        level: 1,
+        elem_size: 8,
+        matrices: 3,
+        occupancy: 0.75,
+    };
+
+    let mut group = c.benchmark_group("registry_serve");
+    group.bench_function("advise_round_trip", |b| {
+        b.iter(|| black_box(client.advise("tiny", &query).unwrap()));
+    });
+    group.bench_function("get_round_trip", |b| {
+        b.iter(|| black_box(client.get_profile("tiny").unwrap()));
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_digest_and_store,
+    bench_advice,
+    bench_loopback_round_trip
+);
+criterion_main!(benches);

@@ -50,8 +50,16 @@ fn bench_concurrent_traversal(c: &mut Criterion) {
         b.iter(|| {
             machine.reset();
             let jobs = [
-                TraversalJob { core: 0, array: &a, stride: KB },
-                TraversalJob { core: 1, array: &z, stride: KB },
+                TraversalJob {
+                    core: 0,
+                    array: &a,
+                    stride: KB,
+                },
+                TraversalJob {
+                    core: 1,
+                    array: &z,
+                    stride: KB,
+                },
             ];
             black_box(machine.traverse_concurrent(&jobs, 1, 1))
         });

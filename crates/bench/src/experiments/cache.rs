@@ -2,8 +2,7 @@
 
 use crate::report::{fmt_size, Report};
 use servet_core::cache_detect::{
-    detect_cache_levels, probabilistic_size_with_model, CandidateGrid, DetectConfig,
-    MissRateModel,
+    detect_cache_levels, probabilistic_size_with_model, CandidateGrid, DetectConfig, MissRateModel,
 };
 use servet_core::mcalibrator::{mcalibrator, McalibratorConfig};
 use servet_core::platform::Platform;
@@ -16,11 +15,7 @@ use servet_stats::gradient::find_peaks;
 /// total ... all the estimates agreed with the specifications").
 pub fn paper_machines() -> Vec<(&'static str, SimPlatform, Vec<usize>)> {
     vec![
-        (
-            "dempsey",
-            SimPlatform::dempsey(),
-            vec![16 * KB, 2 * MB],
-        ),
+        ("dempsey", SimPlatform::dempsey(), vec![16 * KB, 2 * MB]),
         (
             "athlon3200",
             SimPlatform::athlon3200(),
@@ -63,11 +58,7 @@ pub fn fig2() -> Report {
             } else {
                 "-".to_string()
             };
-            report.row(&[
-                fmt_size(out.sizes[i]),
-                format!("{:.2}", out.cycles[i]),
-                g,
-            ]);
+            report.row(&[fmt_size(out.sizes[i]), format!("{:.2}", out.cycles[i]), g]);
         }
         // Shape criteria from the paper's Fig. 2 discussion.
         let peaks = find_peaks(&gradients, 1.15);
@@ -113,7 +104,14 @@ pub fn sec4a() -> Report {
     );
     report.section(
         "detected vs specification",
-        &["machine", "level", "detected", "specified", "method", "exact"],
+        &[
+            "machine",
+            "level",
+            "detected",
+            "specified",
+            "method",
+            "exact",
+        ],
     );
     let mut correct = 0usize;
     let mut total = 0usize;
@@ -142,7 +140,9 @@ pub fn sec4a() -> Report {
             levels.len() == truth.len(),
         );
     }
-    report.note(format!("{correct}/{total} cache sizes exact (paper: 10/10)"));
+    report.note(format!(
+        "{correct}/{total} cache sizes exact (paper: 10/10)"
+    ));
     report.check("all 10 cache sizes exact", correct == total && total == 10);
     report
 }
@@ -182,10 +182,7 @@ pub fn ablation_cache() -> Report {
     let paperx =
         probabilistic_size_with_model(&sizes, &cycles, 4096, &grid, MissRateModel::PaperApprox)
             .unwrap_or(0);
-    report.section(
-        "dempsey L2 (truth 2M) by method",
-        &["method", "estimate"],
-    );
+    report.section("dempsey L2 (truth 2M) by method", &["method", "estimate"]);
     report.row(&["gradient peaks only".into(), fmt_size(naive)]);
     report.row(&["probabilistic, size-biased".into(), fmt_size(biased)]);
     report.row(&["probabilistic, paper approx".into(), fmt_size(paperx)]);

@@ -29,7 +29,10 @@ pub fn fig10a() -> Report {
     );
 
     let (_, dun) = dunnington_comm();
-    report.section("dunnington: core 0 -> k, 32K messages", &["dest", "latency us", "layer"]);
+    report.section(
+        "dunnington: core 0 -> k, 32K messages",
+        &["dest", "latency us", "layer"],
+    );
     for b in 1..24 {
         let lat = dun
             .pair_latency
@@ -56,7 +59,10 @@ pub fn fig10a() -> Report {
     );
 
     let (_, ft) = finis_terrae_comm();
-    report.section("finis terrae (2 nodes): core 0 -> k, 16K messages", &["dest", "latency us", "layer"]);
+    report.section(
+        "finis terrae (2 nodes): core 0 -> k, 16K messages",
+        &["dest", "latency us", "layer"],
+    );
     let mut intra = Vec::new();
     let mut inter = Vec::new();
     for b in 1..32 {
@@ -104,7 +110,10 @@ pub fn fig10b() -> Report {
         report.rowf(&[&n, &format!("{lat:.2}"), &format!("{slow:.2}")]);
     }
     let last = bus_layer.scalability.last().expect("swept");
-    report.check("dunnington: swept to >= 16 concurrent messages", last.0 >= 16);
+    report.check(
+        "dunnington: swept to >= 16 concurrent messages",
+        last.0 >= 16,
+    );
     report.check_range(
         "dunnington: moderate degradation at full load",
         last.2,
@@ -274,9 +283,18 @@ pub fn ablation_models() -> Report {
         "mean relative prediction error over all layers and sizes",
         &["model", "error"],
     );
-    report.row(&["hockney (single line)".into(), format!("{:.1}%", hockney_err * 100.0)]);
-    report.row(&["logGP (single line)".into(), format!("{:.1}%", loggp_err * 100.0)]);
-    report.row(&["servet layered".into(), format!("{:.1}%", servet_err * 100.0)]);
+    report.row(&[
+        "hockney (single line)".into(),
+        format!("{:.1}%", hockney_err * 100.0),
+    ]);
+    report.row(&[
+        "logGP (single line)".into(),
+        format!("{:.1}%", loggp_err * 100.0),
+    ]);
+    report.row(&[
+        "servet layered".into(),
+        format!("{:.1}%", servet_err * 100.0),
+    ]);
     report.note(format!(
         "hockney fit: L = {:.2} us, B = {:.2} GB/s",
         hockney.latency_us,
@@ -301,7 +319,10 @@ mod tests {
         let r = characterize_communication(&mut p, &CommConfig::small(8 * KB));
         assert_eq!(r.num_layers(), 4);
         // Layer latencies ordered; every layer has a p2p sweep.
-        assert!(r.layers.windows(2).all(|w| w[0].latency_us < w[1].latency_us));
+        assert!(r
+            .layers
+            .windows(2)
+            .all(|w| w[0].latency_us < w[1].latency_us));
         assert!(r.layers.iter().all(|l| !l.p2p.is_empty()));
     }
 }

@@ -35,8 +35,13 @@ pub fn fig9a() -> Report {
             dun_values.push(bw);
         }
     }
-    report.note(format!("dunnington reference (isolated core 0): {reference:.2} GB/s"));
-    report.check("dunnington: exactly one overhead class", result.num_classes() == 1);
+    report.note(format!(
+        "dunnington reference (isolated core 0): {reference:.2} GB/s"
+    ));
+    report.check(
+        "dunnington: exactly one overhead class",
+        result.num_classes() == 1,
+    );
     let spread = dun_values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
         / dun_values.iter().copied().fold(f64::INFINITY, f64::min);
     report.check_range(
@@ -80,9 +85,22 @@ pub fn fig9a() -> Report {
     let cell = (4..8).map(grab).fold(f64::NEG_INFINITY, f64::max);
     let cross = (8..16).map(grab).fold(f64::INFINITY, f64::min);
     report.check("ft: bus pairs are the slowest", bus < cell);
-    report.check_range("ft: cell pairs ~25% below reference", cell / reference, 0.70, 0.80);
-    report.check_range("ft: cross-cell pairs at reference", cross / reference, 0.95, 1.05);
-    report.check("ft: two overhead classes (bus, cell)", result.num_classes() == 2);
+    report.check_range(
+        "ft: cell pairs ~25% below reference",
+        cell / reference,
+        0.70,
+        0.80,
+    );
+    report.check_range(
+        "ft: cross-cell pairs at reference",
+        cross / reference,
+        0.95,
+        1.05,
+    );
+    report.check(
+        "ft: two overhead classes (bus, cell)",
+        result.num_classes() == 2,
+    );
     report
 }
 
@@ -109,8 +127,7 @@ pub fn fig9b() -> Report {
     let (n_mid, bw_mid) = class.scalability[class.scalability.len() / 2];
     report.check(
         "dunnington: aggregate bandwidth plateaus (bw ~ C/n)",
-        (bw_last * n_last as f64 - bw_mid * n_mid as f64).abs()
-            < 0.15 * bw_mid * n_mid as f64,
+        (bw_last * n_last as f64 - bw_mid * n_mid as f64).abs() < 0.15 * bw_mid * n_mid as f64,
     );
     report.check(
         "dunnington: group covers all 24 cores",
@@ -132,11 +149,25 @@ pub fn fig9b() -> Report {
             .scalability
             .windows(2)
             .all(|w| w[1].1 <= w[0].1 + 1e-9);
-        report.check(&format!("ft {label}: per-core bandwidth non-increasing"), decreasing);
+        report.check(
+            &format!("ft {label}: per-core bandwidth non-increasing"),
+            decreasing,
+        );
     }
-    let bus_at_2 = result.overheads[0].scalability.first().expect("bus sweep").1;
-    let cell_at_2 = result.overheads[1].scalability.first().expect("cell sweep").1;
-    report.check("ft: bus curve below cell curve at 2 cores", bus_at_2 < cell_at_2);
+    let bus_at_2 = result.overheads[0]
+        .scalability
+        .first()
+        .expect("bus sweep")
+        .1;
+    let cell_at_2 = result.overheads[1]
+        .scalability
+        .first()
+        .expect("cell sweep")
+        .1;
+    report.check(
+        "ft: bus curve below cell curve at 2 cores",
+        bus_at_2 < cell_at_2,
+    );
     report
 }
 

@@ -11,7 +11,11 @@ use servet_net::VirtualCluster;
 /// Ground-truth cost of a mapping: drive the actual virtual cluster with
 /// the pattern (something the placer never sees — it only knows the
 /// measured profile).
-fn ground_truth_cost(cluster: &mut VirtualCluster, pattern: &CommPattern, mapping: &[usize]) -> f64 {
+fn ground_truth_cost(
+    cluster: &mut VirtualCluster,
+    pattern: &CommPattern,
+    mapping: &[usize],
+) -> f64 {
     let mut total = 0.0;
     for a in 0..pattern.ranks {
         for b in a + 1..pattern.ranks {
@@ -51,15 +55,28 @@ pub fn app_placement() -> Report {
     let placer = Placer::new(&profile);
 
     let patterns: Vec<(&str, CommPattern)> = vec![
-        ("shift(16, 8) one node", CommPattern::shift(16, 8, 16 * 1024)),
+        (
+            "shift(16, 8) one node",
+            CommPattern::shift(16, 8, 16 * 1024),
+        ),
         ("ring(32)", CommPattern::ring(32, 16 * 1024)),
         ("stencil 4x4", CommPattern::stencil2d(4, 4, 16 * 1024)),
-        ("master-worker(16)", CommPattern::master_worker(16, 16 * 1024)),
+        (
+            "master-worker(16)",
+            CommPattern::master_worker(16, 16 * 1024),
+        ),
     ];
 
     report.section(
         "predicted cost (us/iteration) by mapping strategy",
-        &["pattern", "linear", "random", "greedy", "anneal", "gain vs linear"],
+        &[
+            "pattern",
+            "linear",
+            "random",
+            "greedy",
+            "anneal",
+            "gain vs linear",
+        ],
     );
     let mut gains = Vec::new();
     for (name, pattern) in &patterns {
@@ -69,7 +86,12 @@ pub fn app_placement() -> Report {
         let anneal = placer.anneal(pattern, 11, 4000);
         let best = greedy.cost_us.min(anneal.cost_us);
         let gain = linear.cost_us / best;
-        gains.push((name.to_string(), pattern.clone(), greedy.mapping.clone(), gain));
+        gains.push((
+            name.to_string(),
+            pattern.clone(),
+            greedy.mapping.clone(),
+            gain,
+        ));
         report.row(&[
             name.to_string(),
             format!("{:.1}", linear.cost_us),

@@ -43,7 +43,10 @@ pub fn fig8() -> Report {
     report.check("L1 is private", result.levels[0].sharing_pairs.is_empty());
     report.check(
         "L2: core 0 pairs exactly with core 12",
-        l2.sharing_pairs.iter().filter(|&&(a, _)| a == 0).eq([&(0, 12)]),
+        l2.sharing_pairs
+            .iter()
+            .filter(|&&(a, _)| a == 0)
+            .eq([&(0, 12)]),
     );
     let l3_with_0: Vec<usize> = l3
         .sharing_pairs
@@ -101,7 +104,10 @@ pub fn fig8() -> Report {
             .collect();
         report.row(&cells);
     }
-    report.check("finis terrae: no shared caches detected", !result.any_shared());
+    report.check(
+        "finis terrae: no shared caches detected",
+        !result.any_shared(),
+    );
     let worst = result
         .levels
         .iter()

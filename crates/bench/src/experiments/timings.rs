@@ -20,7 +20,10 @@ const PAPER_MINUTES: [(&str, f64, f64); 4] = [
 
 /// Table I reproduction.
 pub fn table1() -> Report {
-    let mut report = Report::new("table1", "benchmark execution times in minutes (paper Table I)");
+    let mut report = Report::new(
+        "table1",
+        "benchmark execution times in minutes (paper Table I)",
+    );
 
     let mut dun = SimPlatform::dunnington();
     let dun_report = run_full_suite(&mut dun, &SuiteConfig::default());
@@ -66,8 +69,7 @@ pub fn table1() -> Report {
     // Shape criteria: the orderings the paper's table exhibits.
     report.check(
         "cache-size stage is (near-)cheapest on both machines",
-        rows_measured[0]
-            <= 1.25 * rows_measured.iter().copied().fold(f64::INFINITY, f64::min)
+        rows_measured[0] <= 1.25 * rows_measured.iter().copied().fold(f64::INFINITY, f64::min)
             && rows_ft[0] <= 1.25 * rows_ft.iter().copied().fold(f64::INFINITY, f64::min),
     );
     report.check(

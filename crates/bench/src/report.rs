@@ -116,7 +116,11 @@ impl Report {
             let _ = writeln!(out, "\n  note: {n}");
         }
         let passed = self.checks.iter().filter(|(_, ok)| *ok).count();
-        let _ = writeln!(out, "\n  shape checks: {passed}/{} passed", self.checks.len());
+        let _ = writeln!(
+            out,
+            "\n  shape checks: {passed}/{} passed",
+            self.checks.len()
+        );
         for (name, ok) in &self.checks {
             let _ = writeln!(out, "    [{}] {name}", if *ok { "ok" } else { "FAIL" });
         }

@@ -204,8 +204,7 @@ pub fn probabilistic_size_with_model(
             }
             let mut div = 0.0;
             for (i, &pages) in np.iter().enumerate() {
-                let predicted =
-                    (predicted_miss_rate(pages, p, k, model) - p_first) / p_span;
+                let predicted = (predicted_miss_rate(pages, p, k, model) - p_first) / p_span;
                 div += (mr[i] - predicted).abs();
             }
             scored.push((div, cs));
@@ -365,7 +364,8 @@ mod tests {
         let cycles: Vec<f64> = sizes
             .iter()
             .map(|&s| {
-                let mr = predicted_miss_rate((s / page) as u64, p, true_k, MissRateModel::SizeBiased);
+                let mr =
+                    predicted_miss_rate((s / page) as u64, p, true_k, MissRateModel::SizeBiased);
                 14.0 + 286.0 * mr
             })
             .collect();
@@ -382,8 +382,14 @@ mod tests {
         assert!(low_biased > low_paper * 1.4, "{low_biased} vs {low_paper}");
         let hi_biased = predicted_miss_rate(3072, 1.0 / 128.0, 24, MissRateModel::SizeBiased);
         let hi_paper = predicted_miss_rate(3072, 1.0 / 128.0, 24, MissRateModel::PaperApprox);
-        assert!((hi_biased - hi_paper).abs() < 0.1, "{hi_biased} vs {hi_paper}");
-        assert_eq!(predicted_miss_rate(0, 0.5, 4, MissRateModel::SizeBiased), 0.0);
+        assert!(
+            (hi_biased - hi_paper).abs() < 0.1,
+            "{hi_biased} vs {hi_paper}"
+        );
+        assert_eq!(
+            predicted_miss_rate(0, 0.5, 4, MissRateModel::SizeBiased),
+            0.0
+        );
     }
 
     #[test]

@@ -103,8 +103,8 @@ impl CommLayer {
                 // Extrapolate with the tail's per-byte cost.
                 if pts.len() >= 2 {
                     let a = &pts[pts.len() - 2];
-                    let per_byte = (last.latency_us - a.latency_us)
-                        / (last.size - a.size).max(1) as f64;
+                    let per_byte =
+                        (last.latency_us - a.latency_us) / (last.size - a.size).max(1) as f64;
                     return last.latency_us + per_byte * (size - last.size) as f64;
                 }
                 return last.latency_us;
@@ -143,15 +143,13 @@ impl CommResult {
     /// Estimated one-way latency between two cores for any message size:
     /// the pair's layer performs like its representative (§III-D).
     pub fn predicted_latency_us(&self, a: CoreId, b: CoreId, size: usize) -> Option<f64> {
-        self.layer_of(a, b).map(|i| self.layers[i].latency_for_size(size))
+        self.layer_of(a, b)
+            .map(|i| self.layers[i].latency_for_size(size))
     }
 }
 
 /// Run the full communication benchmark.
-pub fn characterize_communication(
-    platform: &mut dyn Platform,
-    config: &CommConfig,
-) -> CommResult {
+pub fn characterize_communication(platform: &mut dyn Platform, config: &CommConfig) -> CommResult {
     assert!(platform.supports_messaging(), "platform cannot message");
     let total = config
         .max_cores
@@ -200,8 +198,7 @@ pub fn characterize_communication(
             if n > messages.len() {
                 break;
             }
-            let lats =
-                platform.concurrent_message_latency_us(&messages[..n], config.probe_size);
+            let lats = platform.concurrent_message_latency_us(&messages[..n], config.probe_size);
             let mean = lats.iter().sum::<f64>() / lats.len() as f64;
             scalability.push((n, mean, mean / isolated));
         }
@@ -254,7 +251,12 @@ mod tests {
         // {2,3}, IntraNode (cross-socket), InterNode.
         let mut p = tiny();
         let r = characterize_communication(&mut p, &CommConfig::small(8 * KB));
-        assert_eq!(r.num_layers(), 4, "{:#?}", r.layers.iter().map(|l| l.latency_us).collect::<Vec<_>>());
+        assert_eq!(
+            r.num_layers(),
+            4,
+            "{:#?}",
+            r.layers.iter().map(|l| l.latency_us).collect::<Vec<_>>()
+        );
         // Fastest layer holds exactly the shared-cache pairs (0,1), (4,5).
         assert_eq!(r.layers[0].pairs, vec![(0, 1), (4, 5)]);
         // Slowest layer is inter-node, 4×4 = 16 pairs.
@@ -320,8 +322,16 @@ mod tests {
             pairs: vec![(0, 1)],
             representative: (0, 1),
             p2p: vec![
-                P2pPoint { size: 64, latency_us: 1.0, bandwidth_gbs: 0.064 },
-                P2pPoint { size: 1024, latency_us: 2.0, bandwidth_gbs: 0.512 },
+                P2pPoint {
+                    size: 64,
+                    latency_us: 1.0,
+                    bandwidth_gbs: 0.064,
+                },
+                P2pPoint {
+                    size: 1024,
+                    latency_us: 2.0,
+                    bandwidth_gbs: 0.512,
+                },
             ],
             scalability: Vec::new(),
         };

@@ -41,7 +41,7 @@ pub use mcalibrator::{mcalibrator, McalibratorConfig, McalibratorOutput};
 pub use mem_overhead::{characterize_memory, MemOverheadConfig, MemOverheadResult};
 pub use micro::{run_micro_probes, MicroConfig, MicroProfile};
 pub use platform::{CoreId, Platform};
-pub use profile::MachineProfile;
+pub use profile::{write_atomic, MachineProfile, SCHEMA_VERSION};
 pub use shared_cache::{detect_shared_caches, SharedCacheConfig, SharedCacheResult};
 pub use sim_platform::SimPlatform;
 pub use suite::{run_full_suite, SuiteConfig, SuiteReport};

@@ -83,12 +83,7 @@ impl MemOverheadResult {
                 .max()
                 .unwrap_or(0);
             if worst >= 2 {
-                if let Some(&(_, bw)) = class
-                    .scalability
-                    .iter()
-                    .rev()
-                    .find(|&&(n, _)| n <= worst)
-                {
+                if let Some(&(_, bw)) = class.scalability.iter().rev().find(|&&(n, _)| n <= worst) {
                     return bw;
                 }
                 return class.bandwidth_gbs;
@@ -198,7 +193,11 @@ mod tests {
         // pair cross-cell: 2.0 = reference (no overhead).
         let mut p = SimPlatform::tiny_numa().with_noise(0.003);
         let r = characterize_memory(&mut p, &MemOverheadConfig::default());
-        assert!((r.reference_gbs - 2.0).abs() < 0.1, "ref = {}", r.reference_gbs);
+        assert!(
+            (r.reference_gbs - 2.0).abs() < 0.1,
+            "ref = {}",
+            r.reference_gbs
+        );
         assert_eq!(r.num_classes(), 2, "{:#?}", r.overheads);
         // Strongest overhead first.
         assert!(r.overheads[0].bandwidth_gbs < r.overheads[1].bandwidth_gbs);
@@ -213,7 +212,10 @@ mod tests {
         // the cell-pair bandwidth and ends cell-bound: 3.5 GB/s / 4 cores.
         let cell_curve = &r.overheads[1].scalability;
         assert!((cell_curve[0].1 - 1.75).abs() < 0.1, "{cell_curve:?}");
-        assert!((cell_curve.last().unwrap().1 - 0.875).abs() < 0.05, "{cell_curve:?}");
+        assert!(
+            (cell_curve.last().unwrap().1 - 0.875).abs() < 0.05,
+            "{cell_curve:?}"
+        );
     }
 
     #[test]
@@ -236,7 +238,10 @@ mod tests {
         let curve = &r.overheads[0].scalability;
         assert!(!curve.is_empty());
         for w in curve.windows(2) {
-            assert!(w[1].1 <= w[0].1 + 1e-9, "scalability not decreasing: {curve:?}");
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "scalability not decreasing: {curve:?}"
+            );
         }
         // 4 cores on a 3 GB/s bus → 0.75 each.
         let last = curve.last().unwrap();

@@ -16,11 +16,40 @@ use crate::shared_cache::SharedCacheResult;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The profile schema version written by this build. Older files (which
+/// predate the field and deserialize as `0`) still load; files written by
+/// a *newer* Servet are rejected with a clear error instead of being
+/// silently misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Write `contents` to `path` atomically: the bytes land in a unique
+/// sibling temporary file first and are `rename`d into place, so a crash
+/// mid-write can never leave a torn file behind. The registry store and
+/// [`MachineProfile::save`] share this helper.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(format!(".{}.{seq}.tmp", std::process::id()));
+    let tmp = PathBuf::from(tmp_name);
+    fs::write(&tmp, contents)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
 
 /// The complete output of one Servet run on one machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineProfile {
+    /// Profile schema version; absent in pre-versioning files (reads as 0).
+    #[serde(default)]
+    pub schema_version: u32,
     /// Machine name.
     pub machine: String,
     /// Cores per shared-memory node.
@@ -100,14 +129,27 @@ impl MachineProfile {
         serde_json::to_string_pretty(self).expect("profile serializes")
     }
 
-    /// Parse from JSON.
+    /// Parse from JSON. Files written by a newer Servet (a
+    /// `schema_version` above [`SCHEMA_VERSION`]) are rejected; files from
+    /// before the field existed load with version 0.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+        let profile: Self = serde_json::from_str(json)?;
+        if profile.schema_version > SCHEMA_VERSION {
+            use serde::de::Error as _;
+            return Err(serde_json::Error::custom(format!(
+                "profile schema_version {} is newer than the supported version {}; \
+                 upgrade servet to read this file",
+                profile.schema_version, SCHEMA_VERSION
+            )));
+        }
+        Ok(profile)
     }
 
     /// Write the profile to a file (the paper's installation-time output).
+    /// The write is atomic ([`write_atomic`]): a crash mid-save cannot
+    /// leave a torn profile on disk.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        fs::write(path, self.to_json())
+        write_atomic(path, self.to_json().as_bytes())
     }
 
     /// Load a profile previously written by [`Self::save`].
@@ -124,6 +166,7 @@ mod tests {
 
     fn minimal_profile() -> MachineProfile {
         MachineProfile {
+            schema_version: SCHEMA_VERSION,
             machine: "test".into(),
             cores_per_node: 4,
             total_cores: 4,
@@ -190,5 +233,77 @@ mod tests {
     fn malformed_json_errors() {
         assert!(MachineProfile::from_json("{not json").is_err());
         assert!(MachineProfile::load("/nonexistent/servet.json").is_err());
+    }
+
+    #[test]
+    fn missing_schema_version_defaults_to_zero() {
+        // A pre-versioning file has no schema_version field at all.
+        let mut p = minimal_profile();
+        p.schema_version = SCHEMA_VERSION;
+        let json = p
+            .to_json()
+            .replace(&format!("\"schema_version\": {SCHEMA_VERSION},"), "");
+        assert!(!json.contains("schema_version"));
+        let back = MachineProfile::from_json(&json).unwrap();
+        assert_eq!(back.schema_version, 0);
+        assert_eq!(back.machine, p.machine);
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected() {
+        let mut p = minimal_profile();
+        p.schema_version = SCHEMA_VERSION + 7;
+        let err = MachineProfile::from_json(&p.to_json()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("newer"), "unhelpful error: {msg}");
+        assert!(
+            msg.contains(&(SCHEMA_VERSION + 7).to_string()),
+            "error should name the offending version: {msg}"
+        );
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let p = minimal_profile();
+        let dir = std::env::temp_dir().join("servet-profile-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        // Overwrite an existing (corrupt) file: the reader must never see
+        // a torn state, and no *.tmp residue may remain.
+        std::fs::write(&path, "{torn").unwrap();
+        p.save(&path).unwrap();
+        assert_eq!(MachineProfile::load(&path).unwrap(), p);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp residue: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_concurrent_writers_never_tear() {
+        let dir = std::env::temp_dir().join("servet-write-atomic-race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.json");
+        let payload_a = "a".repeat(64 * 1024);
+        let payload_b = "b".repeat(64 * 1024);
+        std::thread::scope(|s| {
+            for payload in [&payload_a, &payload_b] {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        write_atomic(&path, payload.as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            content == payload_a || content == payload_b,
+            "torn read of {} bytes",
+            content.len()
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -135,13 +135,13 @@ mod tests {
     fn tiny_shared_l2_topology_recovered() {
         // Ground truth: L1 private, L2 shared by {0,1} and {2,3}.
         let mut p = SimPlatform::tiny_shared_l2().with_noise(0.003);
-        let result = detect_shared_caches(
-            &mut p,
-            &[8 * KB, 128 * KB],
-            &SharedCacheConfig::default(),
-        );
+        let result =
+            detect_shared_caches(&mut p, &[8 * KB, 128 * KB], &SharedCacheConfig::default());
         assert_eq!(result.levels.len(), 2);
-        assert!(result.levels[0].sharing_pairs.is_empty(), "L1 must be private");
+        assert!(
+            result.levels[0].sharing_pairs.is_empty(),
+            "L1 must be private"
+        );
         assert_eq!(result.levels[1].sharing_pairs, vec![(0, 1), (2, 3)]);
         assert_eq!(result.levels[1].groups, vec![vec![0, 1], vec![2, 3]]);
         assert!(result.any_shared());

@@ -156,6 +156,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
 
     SuiteReport {
         profile: MachineProfile {
+            schema_version: crate::profile::SCHEMA_VERSION,
             machine: platform.name().to_string(),
             cores_per_node: platform.num_cores(),
             total_cores: platform.total_cores(),
@@ -204,10 +205,12 @@ mod tests {
         assert!(t.shared_caches_s > 0.0);
         assert!(t.memory_overhead_s > 0.0);
         assert!(t.communication_s > 0.0);
-        assert!((t.total_s()
-            - (t.cache_size_s + t.shared_caches_s + t.memory_overhead_s + t.communication_s))
-            .abs()
-            < 1e-12);
+        assert!(
+            (t.total_s()
+                - (t.cache_size_s + t.shared_caches_s + t.memory_overhead_s + t.communication_s))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

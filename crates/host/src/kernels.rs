@@ -228,13 +228,18 @@ mod tests {
         // pattern over a huge array (cache misses) is slower.
         let offsets: Vec<u64> = (0..64u64).map(|i| i * 1024).collect();
         let small = pattern_chase_ns(64 * 1024, &offsets);
-        let big_offsets: Vec<u64> = (0..16_384u64).map(|i| (i * 7919 + 13) % 16_384 * 4096).collect();
+        let big_offsets: Vec<u64> = (0..16_384u64)
+            .map(|i| (i * 7919 + 13) % 16_384 * 4096)
+            .collect();
         let mut dedup = big_offsets.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), big_offsets.len(), "offsets must be distinct");
         let large = pattern_chase_ns(64 * 1024 * 1024, &big_offsets);
-        assert!(small > 0.0 && large > small, "small {small} vs large {large}");
+        assert!(
+            small > 0.0 && large > small,
+            "small {small} vs large {large}"
+        );
     }
 
     #[test]

@@ -95,8 +95,7 @@ pub fn reported_caches(cpu: usize) -> Vec<ReportedCache> {
             level,
             cache_type,
             size,
-            line_size: read_trimmed(&path.join("coherency_line_size"))
-                .and_then(|v| v.parse().ok()),
+            line_size: read_trimmed(&path.join("coherency_line_size")).and_then(|v| v.parse().ok()),
             associativity: read_trimmed(&path.join("ways_of_associativity"))
                 .and_then(|v| v.parse().ok()),
             shared_with: read_trimmed(&path.join("shared_cpu_list"))
@@ -181,6 +180,9 @@ mod tests {
         ];
         let measured = [(1u8, 32 * 1024usize), (2, 2 * 1024 * 1024), (3, 9 << 20)];
         let joined = compare_with_reported(&measured, &reported);
-        assert_eq!(joined, vec![(1, 32 * 1024, 32 * 1024), (2, 2 * 1024 * 1024, 1024 * 1024)]);
+        assert_eq!(
+            joined,
+            vec![(1, 32 * 1024, 32 * 1024), (2, 2 * 1024 * 1024, 1024 * 1024)]
+        );
     }
 }

@@ -244,7 +244,10 @@ mod tests {
         let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, 16 + i)).collect();
         let lat = c.concurrent_send_latency_us(&pairs, 16 * 1024);
         let worst = lat.iter().copied().fold(0.0, f64::max);
-        assert!(worst > 3.0 * solo, "16 concurrent IB messages: {worst} vs {solo}");
+        assert!(
+            worst > 3.0 * solo,
+            "16 concurrent IB messages: {worst} vs {solo}"
+        );
     }
 
     #[test]

@@ -91,9 +91,8 @@ fn binomial_time(c: &mut VirtualCluster, ranks: &[usize], size: usize) -> f64 {
     let mut have = 1usize; // ranks[0..have] already hold the data
     while have < n {
         let senders = have.min(n - have);
-        let pairs: Vec<(usize, usize)> = (0..senders)
-            .map(|i| (ranks[i], ranks[have + i]))
-            .collect();
+        let pairs: Vec<(usize, usize)> =
+            (0..senders).map(|i| (ranks[i], ranks[have + i])).collect();
         let lats = c.concurrent_send_latency_us(&pairs, size);
         t += lats.iter().copied().fold(0.0, f64::max);
         have += senders;
@@ -115,7 +114,10 @@ pub enum AllgatherAlgorithm {
 impl AllgatherAlgorithm {
     /// All algorithm variants.
     pub fn all() -> [AllgatherAlgorithm; 2] {
-        [AllgatherAlgorithm::Ring, AllgatherAlgorithm::RecursiveDoubling]
+        [
+            AllgatherAlgorithm::Ring,
+            AllgatherAlgorithm::RecursiveDoubling,
+        ]
     }
 
     /// Stable display name.
@@ -143,8 +145,7 @@ pub fn allgather_time_us(
         AllgatherAlgorithm::Ring => {
             let mut t = 0.0;
             for _round in 0..ranks - 1 {
-                let pairs: Vec<(usize, usize)> =
-                    (0..ranks).map(|r| (r, (r + 1) % ranks)).collect();
+                let pairs: Vec<(usize, usize)> = (0..ranks).map(|r| (r, (r + 1) % ranks)).collect();
                 let lats = c.concurrent_send_latency_us(&pairs, block);
                 t += lats.iter().copied().fold(0.0, f64::max);
             }
@@ -161,8 +162,7 @@ pub fn allgather_time_us(
             while dist < ranks {
                 // Every rank exchanges with its partner: both directions
                 // are concurrent messages.
-                let pairs: Vec<(usize, usize)> =
-                    (0..ranks).map(|r| (r, r ^ dist)).collect();
+                let pairs: Vec<(usize, usize)> = (0..ranks).map(|r| (r, r ^ dist)).collect();
                 let lats = c.concurrent_send_latency_us(&pairs, chunk);
                 t += lats.iter().copied().fold(0.0, f64::max);
                 chunk *= 2;
@@ -268,7 +268,10 @@ mod tests {
     #[test]
     fn allgather_names() {
         assert_eq!(AllgatherAlgorithm::Ring.name(), "ring");
-        assert_eq!(AllgatherAlgorithm::RecursiveDoubling.name(), "recursive-doubling");
+        assert_eq!(
+            AllgatherAlgorithm::RecursiveDoubling.name(),
+            "recursive-doubling"
+        );
     }
 
     #[test]

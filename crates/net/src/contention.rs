@@ -92,8 +92,10 @@ impl ContentionModel {
         per_msg
             .iter()
             .map(|rs| {
-                let mut slow: f64 = 1.0 + self.alpha_cache * (pairs.len() as f64 - 1.0).max(0.0)
-                    * if rs.is_empty() { 1.0 } else { 0.0 };
+                let mut slow: f64 = 1.0
+                    + self.alpha_cache
+                        * (pairs.len() as f64 - 1.0).max(0.0)
+                        * if rs.is_empty() { 1.0 } else { 0.0 };
                 for &r in rs {
                     let n = load[&r] as f64;
                     slow = slow.max(1.0 + self.alpha(r) * (n - 1.0));
@@ -132,7 +134,13 @@ mod tests {
         let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, 16 + i)).collect();
         let pairs: Vec<(usize, usize)> = pairs
             .iter()
-            .chain(pairs.iter().map(|&(a, b)| (b, a)).collect::<Vec<_>>().iter())
+            .chain(
+                pairs
+                    .iter()
+                    .map(|&(a, b)| (b, a))
+                    .collect::<Vec<_>>()
+                    .iter(),
+            )
             .copied()
             .collect();
         assert_eq!(pairs.len(), 32);
@@ -180,10 +188,7 @@ mod tests {
     fn resources_for_layers() {
         let m = model();
         let topo = presets::finis_terrae_topology(2);
-        assert_eq!(
-            m.resources_for(&topo, 0, 1),
-            vec![Resource::NodeBus(0)]
-        );
+        assert_eq!(m.resources_for(&topo, 0, 1), vec![Resource::NodeBus(0)]);
         let inter = m.resources_for(&topo, 0, 16);
         assert!(inter.contains(&Resource::Nic(0)));
         assert!(inter.contains(&Resource::Nic(1)));

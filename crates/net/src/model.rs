@@ -173,8 +173,16 @@ mod tests {
     #[should_panic]
     fn unordered_segments_panic() {
         LayerModel::new(vec![
-            ProtocolSegment { max_size: usize::MAX, base_us: 1.0, per_byte_ns: 0.1 },
-            ProtocolSegment { max_size: 10, base_us: 1.0, per_byte_ns: 0.1 },
+            ProtocolSegment {
+                max_size: usize::MAX,
+                base_us: 1.0,
+                per_byte_ns: 0.1,
+            },
+            ProtocolSegment {
+                max_size: 10,
+                base_us: 1.0,
+                per_byte_ns: 0.1,
+            },
         ]);
     }
 

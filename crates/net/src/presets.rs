@@ -72,10 +72,7 @@ pub fn dunnington_comm_model() -> CommModel {
             ),
             (
                 Layer::IntraNode,
-                LayerModel::new(vec![
-                    seg(64 * KB, 0.9, 0.45),
-                    seg(usize::MAX, 3.0, 0.50),
-                ]),
+                LayerModel::new(vec![seg(64 * KB, 0.9, 0.45), seg(usize::MAX, 3.0, 0.50)]),
             ),
         ],
         0.02,
@@ -104,31 +101,19 @@ pub fn finis_terrae_comm_model() -> CommModel {
         vec![
             (
                 Layer::IntraProcessor,
-                LayerModel::new(vec![
-                    seg(64 * KB, 0.5, 0.25),
-                    seg(usize::MAX, 2.0, 0.40),
-                ]),
+                LayerModel::new(vec![seg(64 * KB, 0.5, 0.25), seg(usize::MAX, 2.0, 0.40)]),
             ),
             (
                 Layer::IntraCell,
-                LayerModel::new(vec![
-                    seg(64 * KB, 0.7, 0.33),
-                    seg(usize::MAX, 2.4, 0.45),
-                ]),
+                LayerModel::new(vec![seg(64 * KB, 0.7, 0.33), seg(usize::MAX, 2.4, 0.45)]),
             ),
             (
                 Layer::IntraNode,
-                LayerModel::new(vec![
-                    seg(64 * KB, 0.9, 0.42),
-                    seg(usize::MAX, 3.0, 0.50),
-                ]),
+                LayerModel::new(vec![seg(64 * KB, 0.9, 0.42), seg(usize::MAX, 3.0, 0.50)]),
             ),
             (
                 Layer::InterNode,
-                LayerModel::new(vec![
-                    seg(12 * KB, 3.0, 0.40),
-                    seg(usize::MAX, 8.0, 0.38),
-                ]),
+                LayerModel::new(vec![seg(12 * KB, 3.0, 0.40), seg(usize::MAX, 8.0, 0.38)]),
             ),
         ],
         0.02,
@@ -267,6 +252,12 @@ mod tests {
     fn preset_clusters_construct() {
         assert_eq!(dunnington_cluster().num_ranks(), 24);
         assert_eq!(finis_terrae_cluster(2).num_ranks(), 32);
-        assert_eq!(finis_terrae_cluster(1).topology().layers_present(None).len(), 3);
+        assert_eq!(
+            finis_terrae_cluster(1)
+                .topology()
+                .layers_present(None)
+                .len(),
+            3
+        );
     }
 }

@@ -76,7 +76,11 @@ impl ClusterTopology {
             ("l2_group_of", &self.l2_group_of),
         ] {
             if v.len() != self.cores_per_node {
-                return Err(format!("{name} has {} entries, want {}", v.len(), self.cores_per_node));
+                return Err(format!(
+                    "{name} has {} entries, want {}",
+                    v.len(),
+                    self.cores_per_node
+                ));
             }
         }
         Ok(())
@@ -125,7 +129,9 @@ impl ClusterTopology {
 
     /// The distinct layers this topology exhibits, fastest first.
     pub fn layers_present(&self, max_cores: Option<usize>) -> Vec<Layer> {
-        let total = max_cores.unwrap_or(self.total_cores()).min(self.total_cores());
+        let total = max_cores
+            .unwrap_or(self.total_cores())
+            .min(self.total_cores());
         let mut layers = Vec::new();
         for a in 0..total {
             for b in a + 1..total {

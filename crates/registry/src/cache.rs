@@ -1,0 +1,216 @@
+//! A sharded in-memory cache: one `RwLock`-guarded map per shard, so
+//! concurrent readers on different keys rarely contend, plus global
+//! hit/miss/eviction counters.
+//!
+//! `std`-only by design (the CI sandboxes cannot fetch crates): shard
+//! selection hashes the key with the default `SipHash` and takes it
+//! modulo the shard count; each shard evicts FIFO when it reaches its
+//! capacity. The registry uses two instances — digest → parsed profile,
+//! and `(digest, query)` → advice — and the serving tests assert on the
+//! exposed counters.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Counter snapshot of one [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that did not.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    /// Insertion order for FIFO eviction; holds exactly the map's keys.
+    order: VecDeque<K>,
+}
+
+/// A fixed-shard concurrent cache with FIFO eviction per shard.
+pub struct ShardedCache<K, V> {
+    shards: Vec<RwLock<Shard<K, V>>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of `num_shards` shards (min 1) holding at most
+    /// `capacity_per_shard` entries each (min 1).
+    pub fn new(num_shards: usize, capacity_per_shard: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        Self {
+            shards: (0..num_shards)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Clone of the cached value, counting a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = self.shards[self.shard_index(key)]
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) a value, evicting the shard's oldest entry if
+    /// it is full.
+    pub fn insert(&self, key: K, value: V) {
+        let mut shard = self.shards[self.shard_index(&key)]
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        if shard.map.insert(key.clone(), value).is_some() {
+            return; // replaced in place; key already tracked in `order`
+        }
+        shard.order.push_back(key);
+        if shard.map.len() > self.capacity_per_shard {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
+            shard.map.clear();
+            shard.order.clear();
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache: ShardedCache<String, u32> = ShardedCache::new(4, 16);
+        assert_eq!(cache.get(&"a".to_string()), None);
+        cache.insert("a".to_string(), 1);
+        assert_eq!(cache.get(&"a".to_string()), Some(1));
+        assert_eq!(cache.get(&"a".to_string()), Some(1));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn replacement_does_not_grow_or_evict() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(1, 2);
+        cache.insert(1, 10);
+        cache.insert(1, 11);
+        cache.insert(1, 12);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&1), Some(12));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        // Single shard of 2: inserting a third key evicts the oldest.
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(1, 2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(3, 30);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), None, "oldest key should be gone");
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(8, 16);
+        for k in 0..64 {
+            cache.insert(k, k);
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_mixed_load_is_consistent() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(8, 1024));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = t * 1000 + i;
+                        cache.insert(k, k * 2);
+                        assert_eq!(cache.get(&k), Some(k * 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 8 * 500);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8 * 500);
+        assert_eq!(stats.evictions, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! A small blocking client for the registry protocol — the transport
+//! behind `servet query` and the serving tests.
+
+use crate::advice::{AdviceOutcome, AdviceQuery};
+use crate::protocol::{read_message, write_message, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use servet_core::profile::MachineProfile;
+
+/// One connection to a registry server.
+pub struct RegistryClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RegistryClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Self::from_stream(stream)
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Abandon a response not arriving within `timeout` instead of
+    /// blocking forever.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request and wait for its response line.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_message(&mut self.writer, request)?;
+        read_message(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Store `profile` (optionally aliased); returns its digest.
+    pub fn put(&mut self, profile: &MachineProfile, name: Option<&str>) -> io::Result<String> {
+        let resp = self.call(&Request::Put {
+            profile: Box::new(profile.clone()),
+            name: name.map(str::to_string),
+        })?;
+        match resp {
+            Response::Stored { digest } => Ok(digest),
+            Response::Error { error } => Err(io::Error::other(error)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the raw response for a `get` (callers match on it).
+    pub fn get(&mut self, key: &str) -> io::Result<Response> {
+        self.call(&Request::Get {
+            key: key.to_string(),
+        })
+    }
+
+    /// Fetch a profile, treating protocol-level errors as `io::Error`.
+    pub fn get_profile(&mut self, key: &str) -> io::Result<(String, MachineProfile)> {
+        match self.get(key)? {
+            Response::Profile { digest, profile } => Ok((digest, *profile)),
+            Response::Error { error } => Err(io::Error::other(error)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// List stored profiles.
+    pub fn list(&mut self) -> io::Result<Vec<crate::store::StoreEntry>> {
+        match self.call(&Request::List)? {
+            Response::Listing { entries } => Ok(entries),
+            Response::Error { error } => Err(io::Error::other(error)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask for advice; returns `(digest, cached, outcome)`.
+    pub fn advise(
+        &mut self,
+        key: &str,
+        query: &AdviceQuery,
+    ) -> io::Result<(String, bool, AdviceOutcome)> {
+        let resp = self.call(&Request::Advise {
+            key: key.to_string(),
+            query: query.clone(),
+        })?;
+        match resp {
+            Response::Advice {
+                digest,
+                cached,
+                outcome,
+            } => Ok((digest, cached, outcome)),
+            Response::Error { error } => Err(io::Error::other(error)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch server counters.
+    pub fn stats(&mut self) -> io::Result<crate::protocol::ServerStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            Response::Error { error } => Err(io::Error::other(error)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response {resp:?}"),
+    )
+}

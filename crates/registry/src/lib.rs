@@ -1,0 +1,61 @@
+//! # servet-registry
+//!
+//! The serving layer over Servet machine profiles. The paper's workflow
+//! (§IV-E) measures a machine **once** and lets every autotuned code
+//! consult the result; this crate turns that file-on-disk convention into
+//! a long-lived, concurrent service:
+//!
+//! * [`digest`] — a dependency-free SHA-256; profiles are keyed by the
+//!   digest of their canonical JSON.
+//! * [`store`] — the content-addressed on-disk store with atomic writes
+//!   and a named-alias index (`"dunnington"` → digest).
+//! * [`cache`] — a sharded `RwLock` in-memory cache with hit/miss/
+//!   eviction counters, used for parsed profiles and memoized advice.
+//! * [`advice`] — the `servet-autotune` consumers (`advise_memory_threads`,
+//!   `select_tile`, `select_broadcast`) behind one serde query/outcome
+//!   type, memoized per `(digest, query)` — content addressing makes
+//!   answers immortal.
+//! * [`registry`] — store + caches behind a single request dispatch.
+//! * [`protocol`] — the newline-delimited JSON wire types (documented in
+//!   `DESIGN.md`).
+//! * [`server`] / [`client`] — a threaded TCP server with per-connection
+//!   read timeouts and graceful shutdown, and the blocking client used by
+//!   `servet query`.
+//!
+//! ```no_run
+//! use servet_registry::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::open("/var/lib/servet")?);
+//! let server = serve(registry, "127.0.0.1:7431", ServerConfig::default())?;
+//! println!("serving on {}", server.addr());
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod advice;
+pub mod cache;
+pub mod client;
+pub mod digest;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod store;
+
+pub use advice::{compute_advice, AdviceEngine, AdviceOutcome, AdviceQuery};
+pub use cache::{CacheStats, ShardedCache};
+pub use client::RegistryClient;
+pub use protocol::{Request, Response, ServerStats};
+pub use registry::Registry;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};
+
+/// The common imports for serving and querying.
+pub mod prelude {
+    pub use crate::advice::{compute_advice, AdviceOutcome, AdviceQuery};
+    pub use crate::client::RegistryClient;
+    pub use crate::protocol::{Request, Response};
+    pub use crate::registry::Registry;
+    pub use crate::server::{serve, ServerConfig};
+    pub use crate::store::profile_digest;
+}

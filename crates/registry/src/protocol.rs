@@ -1,0 +1,218 @@
+//! The registry wire protocol: newline-delimited JSON, one request and
+//! one response per line.
+//!
+//! Requests are tagged by `"cmd"`, responses by `"reply"`; the payloads
+//! reuse the exact serde types the rest of the workspace consumes
+//! ([`MachineProfile`], [`AdviceQuery`], [`AdviceOutcome`],
+//! [`StoreEntry`]), so an answer read off the wire is the same value the
+//! in-process API returns. `DESIGN.md` documents the JSON shapes.
+
+use crate::advice::{AdviceOutcome, AdviceQuery};
+use crate::cache::CacheStats;
+use crate::store::StoreEntry;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use servet_core::profile::MachineProfile;
+use std::io::{self, BufRead, Write};
+
+/// A client request, one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "snake_case")]
+pub enum Request {
+    /// Store a profile, optionally binding an alias to it.
+    Put {
+        /// The profile to store.
+        profile: Box<MachineProfile>,
+        /// Alias to bind to the stored digest.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        name: Option<String>,
+    },
+    /// Fetch a profile by alias, digest, or unique digest prefix.
+    Get {
+        /// Alias, digest, or unique digest prefix.
+        key: String,
+    },
+    /// List every stored profile.
+    List,
+    /// Ask for autotuning advice against a stored profile.
+    Advise {
+        /// Alias, digest, or unique digest prefix.
+        key: String,
+        /// The advice query.
+        query: AdviceQuery,
+    },
+    /// Fetch server counters.
+    Stats,
+}
+
+/// Counter snapshot reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Profiles currently on disk.
+    pub profiles: usize,
+    /// Requests handled since startup.
+    pub requests: u64,
+    /// Advice memo-cache hits.
+    pub advice_hits: u64,
+    /// Advice memo-cache misses.
+    pub advice_misses: u64,
+    /// Advice memo-cache evictions.
+    pub advice_evictions: u64,
+    /// Parsed-profile cache hits.
+    pub profile_hits: u64,
+    /// Parsed-profile cache misses.
+    pub profile_misses: u64,
+}
+
+impl ServerStats {
+    /// Fold the two cache snapshots into the wire struct.
+    pub fn from_caches(
+        profiles: usize,
+        requests: u64,
+        advice: CacheStats,
+        profile_cache: CacheStats,
+    ) -> Self {
+        Self {
+            profiles,
+            requests,
+            advice_hits: advice.hits,
+            advice_misses: advice.misses,
+            advice_evictions: advice.evictions,
+            profile_hits: profile_cache.hits,
+            profile_misses: profile_cache.misses,
+        }
+    }
+}
+
+/// A server response, one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+pub enum Response {
+    /// The profile was stored (or already present) under this digest.
+    Stored {
+        /// Content digest of the stored profile.
+        digest: String,
+    },
+    /// A stored profile.
+    Profile {
+        /// The resolved digest.
+        digest: String,
+        /// The profile itself.
+        profile: Box<MachineProfile>,
+    },
+    /// Every stored profile.
+    Listing {
+        /// One entry per stored profile, digest-sorted.
+        entries: Vec<StoreEntry>,
+    },
+    /// An advice answer.
+    Advice {
+        /// The resolved digest the advice was computed against.
+        digest: String,
+        /// Whether the memo cache served it.
+        cached: bool,
+        /// The outcome, shared with `servet advise --json`.
+        outcome: AdviceOutcome,
+    },
+    /// Server counters.
+    Stats {
+        /// The counters.
+        stats: ServerStats,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable diagnostic.
+        error: String,
+    },
+}
+
+/// Serialize `msg` as one JSON line and flush it.
+pub fn write_message<T: Serialize>(writer: &mut impl Write, msg: &T) -> io::Result<()> {
+    let mut line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Read one JSON line into `T`. `Ok(None)` means a clean EOF before any
+/// byte; a line that fails to parse is an `InvalidData` error.
+pub fn read_message<T: DeserializeOwned>(reader: &mut impl BufRead) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty line"));
+    }
+    serde_json::from_str(trimmed)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_shapes() {
+        let req = Request::Advise {
+            key: "tiny".into(),
+            query: AdviceQuery::Bcast {
+                ranks: 8,
+                bytes: 4096,
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"cmd\":\"advise\""), "{json}");
+        assert!(json.contains("\"kind\":\"bcast\""), "{json}");
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+    }
+
+    #[test]
+    fn query_defaults_fill_in() {
+        // A terse hand-written query relies on the serde defaults.
+        let q: AdviceQuery = serde_json::from_str(r#"{"kind":"tile"}"#).unwrap();
+        assert_eq!(
+            q,
+            AdviceQuery::Tile {
+                level: 1,
+                elem_size: 8,
+                matrices: 3,
+                occupancy: 0.75
+            }
+        );
+        let q: AdviceQuery = serde_json::from_str(r#"{"kind":"threads"}"#).unwrap();
+        assert_eq!(q, AdviceQuery::Threads { tolerance: 0.05 });
+        let q: AdviceQuery = serde_json::from_str(r#"{"kind":"bcast"}"#).unwrap();
+        assert_eq!(
+            q,
+            AdviceQuery::Bcast {
+                ranks: 0,
+                bytes: 32 * 1024
+            }
+        );
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let resp = Response::Stored {
+            digest: "d".repeat(64),
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &resp).unwrap();
+        assert!(buf.ends_with(b"\n"));
+        let mut reader = io::BufReader::new(&buf[..]);
+        let back: Response = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(back, resp);
+        // EOF after the single line.
+        assert!(read_message::<Response>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_line_is_invalid_data() {
+        let mut reader = io::BufReader::new(&b"{nope\n"[..]);
+        let err = read_message::<Request>(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

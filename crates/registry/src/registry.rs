@@ -1,0 +1,260 @@
+//! The registry proper: the content-addressed store fronted by a sharded
+//! parsed-profile cache and the memoizing advice engine, behind a single
+//! [`Registry::handle`] dispatch that the TCP server, the CLI, and the
+//! tests all share.
+
+use crate::advice::{AdviceEngine, AdviceQuery};
+use crate::cache::ShardedCache;
+use crate::protocol::{Request, Response, ServerStats};
+use crate::store::{profile_digest, ProfileStore, StoreEntry};
+use servet_core::profile::MachineProfile;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A profile registry over one store directory.
+pub struct Registry {
+    store: ProfileStore,
+    /// digest → parsed profile, so repeated advice/get on hot profiles
+    /// skips disk and JSON parsing.
+    profiles: ShardedCache<String, Arc<MachineProfile>>,
+    advice: AdviceEngine,
+    requests: AtomicU64,
+}
+
+impl Registry {
+    /// Open a registry rooted at `dir` with default cache geometry.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            store: ProfileStore::open(dir)?,
+            profiles: ShardedCache::new(8, 64),
+            advice: AdviceEngine::new(),
+            requests: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ProfileStore {
+        &self.store
+    }
+
+    /// Store a profile (optionally aliased); returns its digest.
+    pub fn put(&self, profile: MachineProfile, name: Option<&str>) -> io::Result<String> {
+        let digest = self.store.put(&profile)?;
+        if let Some(name) = name {
+            self.store.alias(name, &digest)?;
+        }
+        self.profiles.insert(digest.clone(), Arc::new(profile));
+        Ok(digest)
+    }
+
+    /// Resolve `key` and fetch its profile, serving hot digests from the
+    /// in-memory cache.
+    pub fn get(&self, key: &str) -> io::Result<Option<(String, Arc<MachineProfile>)>> {
+        let Some(digest) = self.store.resolve(key)? else {
+            return Ok(None);
+        };
+        if let Some(profile) = self.profiles.get(&digest) {
+            return Ok(Some((digest, profile)));
+        }
+        let profile = Arc::new(self.store.load(&digest)?);
+        self.profiles.insert(digest.clone(), Arc::clone(&profile));
+        Ok(Some((digest, profile)))
+    }
+
+    /// List the stored profiles.
+    pub fn list(&self) -> io::Result<Vec<StoreEntry>> {
+        self.store.list()
+    }
+
+    /// Advice for the profile under `key`; the bool reports a memo hit.
+    pub fn advise(
+        &self,
+        key: &str,
+        query: &AdviceQuery,
+    ) -> io::Result<Option<(String, Result<crate::advice::AdviceOutcome, String>, bool)>> {
+        let Some((digest, profile)) = self.get(key)? else {
+            return Ok(None);
+        };
+        let (outcome, cached) = self.advice.advise(&digest, &profile, query);
+        Ok(Some((digest, outcome, cached)))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats::from_caches(
+            self.store.len().unwrap_or(0),
+            self.requests.load(Ordering::Relaxed),
+            self.advice.stats(),
+            self.profiles.stats(),
+        )
+    }
+
+    /// Handle one protocol request — the single dispatch shared by the
+    /// TCP server and in-process callers. Never panics on bad input;
+    /// failures become [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Put { profile, name } => {
+                // Verify the content round-trips under our schema before
+                // accepting it (rejects too-new schema versions too).
+                if profile.schema_version > servet_core::profile::SCHEMA_VERSION {
+                    return Response::Error {
+                        error: format!(
+                            "profile schema_version {} is newer than the supported version {}",
+                            profile.schema_version,
+                            servet_core::profile::SCHEMA_VERSION
+                        ),
+                    };
+                }
+                match self.put(*profile, name.as_deref()) {
+                    Ok(digest) => Response::Stored { digest },
+                    Err(e) => Response::Error {
+                        error: e.to_string(),
+                    },
+                }
+            }
+            Request::Get { key } => match self.get(&key) {
+                Ok(Some((digest, profile))) => Response::Profile {
+                    digest,
+                    profile: Box::new((*profile).clone()),
+                },
+                Ok(None) => Response::Error {
+                    error: format!("no profile matches {key:?}"),
+                },
+                Err(e) => Response::Error {
+                    error: e.to_string(),
+                },
+            },
+            Request::List => match self.list() {
+                Ok(entries) => Response::Listing { entries },
+                Err(e) => Response::Error {
+                    error: e.to_string(),
+                },
+            },
+            Request::Advise { key, query } => match self.advise(&key, &query) {
+                Ok(Some((digest, Ok(outcome), cached))) => Response::Advice {
+                    digest,
+                    cached,
+                    outcome,
+                },
+                Ok(Some((_, Err(error), _))) => Response::Error { error },
+                Ok(None) => Response::Error {
+                    error: format!("no profile matches {key:?}"),
+                },
+                Err(e) => Response::Error {
+                    error: e.to_string(),
+                },
+            },
+            Request::Stats => Response::Stats {
+                stats: self.stats(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servet_core::suite::{run_full_suite, SuiteConfig};
+    use servet_core::SimPlatform;
+
+    fn measured_profile() -> MachineProfile {
+        let mut platform = SimPlatform::tiny_cluster().with_noise(0.003);
+        run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024)).profile
+    }
+
+    fn temp_registry(tag: &str) -> Registry {
+        let dir =
+            std::env::temp_dir().join(format!("servet-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Registry::open(dir).unwrap()
+    }
+
+    #[test]
+    fn handle_covers_the_protocol() {
+        let registry = temp_registry("handle");
+        let profile = measured_profile();
+        let digest = profile_digest(&profile);
+
+        let resp = registry.handle(Request::Put {
+            profile: Box::new(profile.clone()),
+            name: Some("tiny".into()),
+        });
+        assert_eq!(
+            resp,
+            Response::Stored {
+                digest: digest.clone()
+            }
+        );
+
+        match registry.handle(Request::Get { key: "tiny".into() }) {
+            Response::Profile {
+                digest: d,
+                profile: p,
+            } => {
+                assert_eq!(d, digest);
+                assert_eq!(*p, profile);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match registry.handle(Request::List) {
+            Response::Listing { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].aliases, vec!["tiny".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let advise = Request::Advise {
+            key: "tiny".into(),
+            query: AdviceQuery::Tile {
+                level: 1,
+                elem_size: 8,
+                matrices: 3,
+                occupancy: 0.75,
+            },
+        };
+        match registry.handle(advise.clone()) {
+            Response::Advice { cached, .. } => assert!(!cached),
+            other => panic!("unexpected {other:?}"),
+        }
+        match registry.handle(advise) {
+            Response::Advice { cached, .. } => assert!(cached),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match registry.handle(Request::Stats) {
+            Response::Stats { stats } => {
+                assert_eq!(stats.profiles, 1);
+                assert_eq!(stats.advice_hits, 1);
+                assert!(stats.requests >= 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match registry.handle(Request::Get {
+            key: "ghost".into(),
+        }) {
+            Response::Error { error } => assert!(error.contains("ghost")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_new_profile_is_refused() {
+        let registry = temp_registry("schema");
+        let mut profile = measured_profile();
+        profile.schema_version = servet_core::profile::SCHEMA_VERSION + 1;
+        match registry.handle(Request::Put {
+            profile: Box::new(profile),
+            name: None,
+        }) {
+            Response::Error { error } => assert!(error.contains("newer"), "{error}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

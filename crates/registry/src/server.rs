@@ -1,0 +1,291 @@
+//! The threaded TCP front end: one OS thread per connection, speaking
+//! the newline-delimited JSON protocol of [`crate::protocol`].
+//!
+//! Connections carry any number of request lines; each gets exactly one
+//! response line. A per-connection read timeout drops idle or stalled
+//! clients, and [`ServerHandle::shutdown`] stops accepting, closes every
+//! live connection, and joins all threads before returning — so tests
+//! (and `servet serve` under a signal) always exit cleanly.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use crate::registry::Registry;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection read timeout; a client silent for this long is
+    /// disconnected.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server; dropping it shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close live connections, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Block until the server stops on its own (it never does unless the
+    /// process is killed) — the body of `servet serve`.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock every worker stuck in a read.
+        if let Ok(conns) = self.conns.lock() {
+            for conn in conns.iter() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Bind `addr` and serve `registry` until [`ServerHandle::shutdown`].
+pub fn serve(
+    registry: Arc<Registry>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("servet-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_read_timeout(Some(config.read_timeout));
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        if let Ok(mut conns) = conns.lock() {
+                            conns.push(clone);
+                        }
+                    }
+                    let registry = Arc::clone(&registry);
+                    let shutdown = Arc::clone(&shutdown);
+                    let worker = std::thread::Builder::new()
+                        .name("servet-conn".into())
+                        .spawn(move || serve_connection(&registry, stream, &shutdown));
+                    if let Ok(worker) = worker {
+                        workers.push(worker);
+                    }
+                    // Reap finished workers so long servers don't
+                    // accumulate handles.
+                    workers.retain(|w| !w.is_finished());
+                }
+                for worker in workers {
+                    let _ = worker.join();
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        conns,
+    })
+}
+
+/// Serve one connection: a loop of read-line → dispatch → write-line.
+fn serve_connection(registry: &Registry, stream: TcpStream, shutdown: &AtomicBool) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    while !shutdown.load(Ordering::SeqCst) {
+        match read_message::<Request>(&mut reader) {
+            Ok(Some(request)) => {
+                let response = registry.handle(request);
+                if write_message(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break, // client hung up
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed line: report it and keep the connection.
+                let response = Response::Error {
+                    error: format!("bad request: {e}"),
+                };
+                if write_message(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+            // Timeouts surface as WouldBlock (Linux) or TimedOut; the
+            // per-connection policy is to drop stalled clients.
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RegistryClient;
+    use servet_core::profile::MachineProfile;
+    use servet_core::suite::{run_full_suite, SuiteConfig};
+    use servet_core::SimPlatform;
+
+    fn measured_profile() -> MachineProfile {
+        let mut platform = SimPlatform::tiny_cluster().with_noise(0.003);
+        run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024)).profile
+    }
+
+    fn temp_registry(tag: &str) -> Arc<Registry> {
+        let dir = std::env::temp_dir().join(format!("servet-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(Registry::open(dir).unwrap())
+    }
+
+    #[test]
+    fn round_trip_over_loopback() {
+        let registry = temp_registry("loopback");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                read_timeout: Duration::from_secs(5),
+            },
+        )
+        .unwrap();
+        let profile = measured_profile();
+
+        let mut client = RegistryClient::connect(server.addr()).unwrap();
+        let digest = client.put(&profile, Some("tiny")).unwrap();
+        match client.get("tiny").unwrap() {
+            Response::Profile {
+                digest: d,
+                profile: p,
+            } => {
+                assert_eq!(d, digest);
+                assert_eq!(*p, profile, "profile must round-trip the wire exactly");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_line_gets_error_and_connection_survives() {
+        use std::io::Write as _;
+        let registry = temp_registry("malformed");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                read_timeout: Duration::from_secs(5),
+            },
+        )
+        .unwrap();
+
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"{definitely not json\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let resp: Response = read_message(&mut reader).unwrap().unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+
+        // Same connection still works afterwards.
+        write_message(&mut stream, &Request::List).unwrap();
+        let resp: Response = read_message(&mut reader).unwrap().unwrap();
+        assert!(matches!(resp, Response::Listing { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_dropped_after_timeout() {
+        let registry = temp_registry("timeout");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                read_timeout: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream);
+        // Say nothing: the server should hang up on us.
+        let got: io::Result<Option<Response>> = read_message(&mut reader);
+        assert!(matches!(got, Ok(None)), "expected EOF, got {got:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_live_connections_promptly() {
+        let registry = temp_registry("shutdown");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                read_timeout: Duration::from_secs(60),
+            },
+        )
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let start = std::time::Instant::now();
+        server.shutdown();
+        // Despite the 60 s read timeout, our connection dies immediately.
+        let got: io::Result<Option<Response>> = read_message(&mut reader);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+        // EOF or a reset error are both acceptable.
+        assert!(!matches!(got, Ok(Some(_))), "unexpected message {got:?}");
+    }
+}

@@ -242,11 +242,7 @@ impl Machine {
         let Some(bus) = self.bus_of[core] else {
             return 0.0;
         };
-        let line = self
-            .spec
-            .caches
-            .last()
-            .map_or(64, |c| c.line_size) as f64;
+        let line = self.spec.caches.last().map_or(64, |c| c.line_size) as f64;
         line / self.bus_bytes_per_cycle[bus]
     }
 
@@ -428,10 +424,7 @@ mod tests {
             let arr = m.alloc_array(size);
             m.reset();
             let c = m.traverse(0, &arr, KB, 1, 2);
-            assert!(
-                c >= last - 0.5,
-                "cost not monotone at {size}: {c} < {last}"
-            );
+            assert!(c >= last - 0.5, "cost not monotone at {size}: {c} < {last}");
             last = c;
         }
     }
@@ -461,8 +454,16 @@ mod tests {
         m.reset();
         let pair = m.traverse_concurrent(
             &[
-                TraversalJob { core: 0, array: &a, stride: KB },
-                TraversalJob { core: 1, array: &b, stride: KB },
+                TraversalJob {
+                    core: 0,
+                    array: &a,
+                    stride: KB,
+                },
+                TraversalJob {
+                    core: 1,
+                    array: &b,
+                    stride: KB,
+                },
             ],
             1,
             2,
@@ -473,8 +474,16 @@ mod tests {
         m.reset();
         let apart = m.traverse_concurrent(
             &[
-                TraversalJob { core: 0, array: &a, stride: KB },
-                TraversalJob { core: 2, array: &b, stride: KB },
+                TraversalJob {
+                    core: 0,
+                    array: &a,
+                    stride: KB,
+                },
+                TraversalJob {
+                    core: 2,
+                    array: &b,
+                    stride: KB,
+                },
             ],
             1,
             2,
@@ -517,8 +526,16 @@ mod tests {
         m.reset();
         let both = m.traverse_concurrent(
             &[
-                TraversalJob { core: 0, array: &a, stride: KB },
-                TraversalJob { core: 1, array: &b, stride: KB },
+                TraversalJob {
+                    core: 0,
+                    array: &a,
+                    stride: KB,
+                },
+                TraversalJob {
+                    core: 1,
+                    array: &b,
+                    stride: KB,
+                },
             ],
             1,
             1,
@@ -545,8 +562,16 @@ mod tests {
         m.reset();
         let sharing = m.traverse_concurrent(
             &[
-                TraversalJob { core: 0, array: &a, stride: KB },
-                TraversalJob { core: 12, array: &b, stride: KB },
+                TraversalJob {
+                    core: 0,
+                    array: &a,
+                    stride: KB,
+                },
+                TraversalJob {
+                    core: 12,
+                    array: &b,
+                    stride: KB,
+                },
             ],
             1,
             2,
@@ -554,8 +579,16 @@ mod tests {
         m.reset();
         let apart = m.traverse_concurrent(
             &[
-                TraversalJob { core: 0, array: &a, stride: KB },
-                TraversalJob { core: 1, array: &b, stride: KB },
+                TraversalJob {
+                    core: 0,
+                    array: &a,
+                    stride: KB,
+                },
+                TraversalJob {
+                    core: 1,
+                    array: &b,
+                    stride: KB,
+                },
             ],
             1,
             2,

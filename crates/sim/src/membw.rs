@@ -31,11 +31,7 @@ pub fn maxmin_fair(
     // Flows traversing each resource.
     let members: Vec<Vec<usize>> = resources
         .iter()
-        .map(|(_, cores)| {
-            (0..n)
-                .filter(|&i| cores.contains(&active[i]))
-                .collect()
-        })
+        .map(|(_, cores)| (0..n).filter(|&i| cores.contains(&active[i])).collect())
         .collect();
     loop {
         let unfixed: Vec<usize> = (0..n).filter(|&i| !fixed[i]).collect();
@@ -169,11 +165,7 @@ mod tests {
     #[test]
     fn unconstrained_flow_unaffected_by_others() {
         // Cores 0,1 share a tight bus; core 5 is on an uncontended one.
-        let r = maxmin_fair(
-            &[0, 1, 5],
-            4.0,
-            &[(3.0, vec![0, 1]), (10.0, vec![5])],
-        );
+        let r = maxmin_fair(&[0, 1, 5], 4.0, &[(3.0, vec![0, 1]), (10.0, vec![5])]);
         assert!(close(r[0], 1.5) && close(r[1], 1.5));
         assert!(close(r[2], 4.0));
     }
@@ -181,7 +173,11 @@ mod tests {
     #[test]
     fn nested_resources_tightest_binds() {
         // Bus (2 cores, 4.5) inside a cell (4 cores, 6.0).
-        let resources = [(4.5, vec![0, 1]), (4.5, vec![2, 3]), (6.0, vec![0, 1, 2, 3])];
+        let resources = [
+            (4.5, vec![0, 1]),
+            (4.5, vec![2, 3]),
+            (6.0, vec![0, 1, 2, 3]),
+        ];
         // Two cores on the same bus: bus would allow 2.25 each but the cell
         // allows 3.0 each — bus binds.
         let r = maxmin_fair(&[0, 1], 4.0, &resources);

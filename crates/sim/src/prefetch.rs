@@ -40,8 +40,7 @@ impl StridePrefetcher {
             Some(prev) => vaddr as i64 - prev as i64,
             None => 0,
         };
-        let in_range =
-            stride != 0 && self.max_stride > 0 && stride.abs() <= self.max_stride;
+        let in_range = stride != 0 && self.max_stride > 0 && stride.abs() <= self.max_stride;
         // Train when the current stride repeats the previous one.
         self.trained = in_range && stride == self.last_stride;
         self.last_stride = if in_range { stride } else { 0 };
@@ -83,7 +82,10 @@ mod tests {
     fn stride_1kb_never_covered() {
         let mut p = StridePrefetcher::new(512);
         for i in 0..32u64 {
-            assert!(!p.access(i * 1024), "1 KB stride must defeat the prefetcher");
+            assert!(
+                !p.access(i * 1024),
+                "1 KB stride must defeat the prefetcher"
+            );
         }
     }
 

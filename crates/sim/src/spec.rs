@@ -175,7 +175,11 @@ impl MachineSpec {
                 ));
             }
             if !c.num_sets().is_power_of_two() {
-                return Err(format!("L{} set count {} not a power of two", c.level, c.num_sets()));
+                return Err(format!(
+                    "L{} set count {} not a power of two",
+                    c.level,
+                    c.num_sets()
+                ));
             }
             if c.size < prev_size {
                 return Err(format!("L{} smaller than the level above it", c.level));
@@ -195,7 +199,10 @@ impl MachineSpec {
                 }
             }
             if seen.iter().any(|&s| !s) {
-                return Err(format!("L{} sharing groups do not cover all cores", c.level));
+                return Err(format!(
+                    "L{} sharing groups do not cover all cores",
+                    c.level
+                ));
             }
             if c.indexing == Indexing::Virtual && c.is_shared() {
                 return Err(format!(
@@ -229,7 +236,10 @@ impl MachineSpec {
 
     /// Size in bytes of level `level` (1-based).
     pub fn cache_size(&self, level: u8) -> Option<usize> {
-        self.caches.iter().find(|c| c.level == level).map(|c| c.size)
+        self.caches
+            .iter()
+            .find(|c| c.level == level)
+            .map(|c| c.size)
     }
 
     /// Ground-truth list of core pairs sharing cache level `level`
@@ -283,7 +293,8 @@ mod tests {
             presets::tiny_smp(),
             presets::tiny_shared_l2(),
         ] {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 

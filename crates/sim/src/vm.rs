@@ -222,6 +222,9 @@ mod tests {
         let expected = pages / groups as usize;
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(min > expected / 2 && max < expected * 2, "min={min} max={max}");
+        assert!(
+            min > expected / 2 && max < expected * 2,
+            "min={min} max={max}"
+        );
     }
 }

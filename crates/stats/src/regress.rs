@@ -142,7 +142,13 @@ mod tests {
         let xs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&s| if s < 8.0 { 1.0 + 0.1 * s } else { 10.0 + 0.5 * s })
+            .map(|&s| {
+                if s < 8.0 {
+                    1.0 + 0.1 * s
+                } else {
+                    10.0 + 0.5 * s
+                }
+            })
             .collect();
         let fit = fit_line(&xs, &ys).unwrap();
         assert!(fit.mean_relative_error(&xs, &ys) > 0.2);

@@ -46,7 +46,11 @@ fn main() {
         "  concurrent: {:.1} us   aggregated: {:.1} us   -> {}",
         decision.concurrent_us,
         decision.aggregated_us,
-        if decision.aggregate { "GATHER" } else { "send separately" }
+        if decision.aggregate {
+            "GATHER"
+        } else {
+            "send separately"
+        }
     );
     println!(
         "  (measured slowdown of 16 concurrent messages: {:.1}x)",
@@ -61,7 +65,11 @@ fn main() {
         "  concurrent: {:.1} us   aggregated: {:.1} us   -> {}",
         decision.concurrent_us,
         decision.aggregated_us,
-        if decision.aggregate { "GATHER" } else { "send separately" }
+        if decision.aggregate {
+            "GATHER"
+        } else {
+            "send separately"
+        }
     );
 
     // Decision 2: broadcast algorithm for 32 ranks.

@@ -72,12 +72,18 @@ fn main() {
                 r.level,
                 r.cache_type,
                 r.size / 1024,
-                r.associativity.map(|w| format!(", {w}-way")).unwrap_or_default()
+                r.associativity
+                    .map(|w| format!(", {w}-way"))
+                    .unwrap_or_default()
             );
         }
         for (level, m, r) in servet::host::sysinfo::compare_with_reported(&measured, &reported) {
             let verdict = if m == r { "exact" } else { "differs" };
-            println!("  L{level}: measured {} KB vs reported {} KB ({verdict})", m / 1024, r / 1024);
+            println!(
+                "  L{level}: measured {} KB vs reported {} KB ({verdict})",
+                m / 1024,
+                r / 1024
+            );
         }
     }
 

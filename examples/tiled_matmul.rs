@@ -21,6 +21,7 @@ fn main() {
     let sweep = mcalibrator(&mut platform, 0, &McalibratorConfig::default());
     let levels = detect_cache_levels(&sweep, platform.page_size(), &DetectConfig::default());
     let profile = MachineProfile {
+        schema_version: servet::core::SCHEMA_VERSION,
         machine: "dempsey".into(),
         cores_per_node: 2,
         total_cores: 2,
@@ -67,7 +68,11 @@ fn main() {
     let mut best = (0usize, f64::INFINITY);
     for &tile in &candidates {
         let cycles = evaluate_tile(&mut machine, n, tile);
-        let label = if tile >= n { "untiled".into() } else { format!("{tile:>3}") };
+        let label = if tile >= n {
+            "untiled".into()
+        } else {
+            format!("{tile:>3}")
+        };
         let chosen = if choices.iter().any(|c| c.tile == tile) {
             "  <- selected from measured caches"
         } else {

@@ -22,6 +22,9 @@
 //! * [`autotune`] (`servet-autotune`) — consumers of the profile:
 //!   process placement, tiling, message aggregation, collective
 //!   selection.
+//! * [`registry`] (`servet-registry`) — the serving layer: a
+//!   content-addressed profile store, sharded caches, a memoized advice
+//!   engine, and a threaded TCP server (`servet serve` / `servet query`).
 //! * [`stats`] (`servet-stats`) — binomial tails, gradients, clustering,
 //!   union-find, regression.
 //!
@@ -46,6 +49,7 @@ pub use servet_autotune as autotune;
 pub use servet_core as core;
 pub use servet_host as host;
 pub use servet_net as net;
+pub use servet_registry as registry;
 pub use servet_sim as sim;
 pub use servet_stats as stats;
 
@@ -65,6 +69,9 @@ pub mod prelude {
     pub use servet_core::sim_platform::SimPlatform;
     pub use servet_core::suite::{run_full_suite, SuiteConfig};
     pub use servet_host::HostPlatform;
+    pub use servet_registry::{
+        compute_advice, AdviceOutcome, AdviceQuery, Registry, RegistryClient,
+    };
 }
 
 #[cfg(test)]

@@ -8,12 +8,18 @@
 //! servet advise threads --profile dun.json      # memory-concurrency advice
 //! servet advise tile --profile dun.json --level 2
 //! servet advise bcast --profile dun.json --ranks 24 --bytes 32768
+//! servet serve --dir ~/.servet --addr 127.0.0.1:7431
+//! servet query put --profile dun.json --name dunnington
+//! servet query advise tile --key dunnington --level 2 --json
 //! ```
 
-use servet::autotune::collectives::select_broadcast;
-use servet::autotune::concurrency::advise_memory_threads;
-use servet::autotune::tiling::select_tile;
 use servet::prelude::*;
+use servet::registry::{serve, AdviceOutcome, AdviceQuery, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default address for `servet serve` / `servet query`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7431";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +28,8 @@ fn main() {
         Some("probe") => cmd_probe(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("help") | None => {
             print_help();
@@ -43,9 +51,16 @@ fn print_help() {
          \x20 servet simulate <machine> [--micro] [--out FILE]   run the suite on a simulated preset\n\
          \x20 servet probe [--max-mb N] [--micro] [--out FILE]   run the suite on this machine\n\
          \x20 servet show <profile.json>                         summarize a stored profile\n\
-         \x20 servet advise threads --profile FILE               memory-concurrency advice\n\
-         \x20 servet advise tile --profile FILE [--level L]      tile-size advice\n\
-         \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B]\n\
+         \x20 servet advise threads --profile FILE [--tolerance T] [--json]\n\
+         \x20 servet advise tile --profile FILE [--level L] [--json]\n\
+         \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B] [--json]\n\
+         \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N]\n\
+         \x20                                                    run the profile registry daemon\n\
+         \x20 servet query put --profile FILE [--name NAME] [--addr A]\n\
+         \x20 servet query get --key KEY [--json] [--addr A]\n\
+         \x20 servet query list [--json] [--addr A]\n\
+         \x20 servet query advise <threads|tile|bcast> --key KEY [flags] [--json] [--addr A]\n\
+         \x20 servet query stats [--json] [--addr A]\n\
          \x20 servet machines                                    list simulated presets"
     );
 }
@@ -72,11 +87,7 @@ fn cmd_machines() -> i32 {
     0
 }
 
-fn run_and_save(
-    platform: &mut dyn Platform,
-    config: &SuiteConfig,
-    out: Option<&str>,
-) -> i32 {
+fn run_and_save(platform: &mut dyn Platform, config: &SuiteConfig, out: Option<&str>) -> i32 {
     eprintln!("running the Servet suite on '{}' ...", platform.name());
     let report = run_full_suite(platform, config);
     print_profile(&report.profile);
@@ -104,10 +115,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
         "finis_terrae" => (SimPlatform::finis_terrae(2), SuiteConfig::default()),
         "dempsey" => (SimPlatform::dempsey(), SuiteConfig::default()),
         "athlon3200" => (SimPlatform::athlon3200(), SuiteConfig::default()),
-        "tiny" => (
-            SimPlatform::tiny_cluster(),
-            SuiteConfig::small(256 * 1024),
-        ),
+        "tiny" => (SimPlatform::tiny_cluster(), SuiteConfig::small(256 * 1024)),
         other => {
             eprintln!("unknown machine '{other}'; see 'servet machines'");
             return 2;
@@ -165,76 +173,320 @@ fn cmd_show(args: &[String]) -> i32 {
     }
 }
 
+/// Parse `servet advise <what> ...` flags into the shared query type the
+/// registry protocol speaks (the CLI and the server answer identically).
+fn parse_advice_query(what: &str, args: &[String]) -> Result<AdviceQuery, String> {
+    let num = |flag: &str, default: usize| -> usize {
+        flag_value(args, flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    match what {
+        "threads" => Ok(AdviceQuery::Threads {
+            tolerance: flag_value(args, "--tolerance")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.05),
+        }),
+        "tile" => Ok(AdviceQuery::Tile {
+            level: num("--level", 1) as u8,
+            elem_size: num("--elem-size", 8),
+            matrices: num("--matrices", 3),
+            occupancy: flag_value(args, "--occupancy")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.75),
+        }),
+        // ranks 0 means "every measured core"; the engine resolves it.
+        "bcast" => Ok(AdviceQuery::Bcast {
+            ranks: num("--ranks", 0),
+            bytes: num("--bytes", 32 * 1024),
+        }),
+        other => Err(format!(
+            "unknown advice '{other}'; use threads | tile | bcast"
+        )),
+    }
+}
+
+/// Human rendering of an advice outcome (the `--json` path prints the
+/// serde struct instead).
+fn print_outcome(outcome: &AdviceOutcome) {
+    match outcome {
+        AdviceOutcome::Threads { advice: Some(a) } => {
+            println!(
+                "memory-bound regions: use {} concurrent thread(s) per group {:?}",
+                a.threads_per_group, a.group
+            );
+            println!(
+                "  aggregate {:.2} GB/s (full group would get {:.2} GB/s)",
+                a.aggregate_gbs, a.full_aggregate_gbs
+            );
+        }
+        AdviceOutcome::Threads { advice: None } => {
+            println!("no memory contention measured: use every core");
+        }
+        AdviceOutcome::Tile { choice } => {
+            println!(
+                "blocked matmul over f64: tile {} x {} targets the {} KB L{}",
+                choice.tile,
+                choice.tile,
+                choice.cache_size / 1024,
+                choice.level
+            );
+        }
+        AdviceOutcome::Bcast {
+            ranks,
+            bytes,
+            predictions,
+        } => {
+            println!("broadcast of {bytes} B to {ranks} ranks — predicted:");
+            for p in predictions {
+                println!("  {:>12}: {:>9.1} us", p.algorithm.name(), p.predicted_us);
+            }
+        }
+    }
+}
+
+fn emit_outcome(outcome: &AdviceOutcome, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(outcome).expect("outcome serializes")
+        );
+    } else {
+        print_outcome(outcome);
+    }
+}
+
 fn cmd_advise(args: &[String]) -> i32 {
     let Some(what) = args.first() else {
-        eprintln!("usage: servet advise <threads|tile|bcast> --profile FILE");
+        eprintln!("usage: servet advise <threads|tile|bcast> --profile FILE [--json]");
         return 2;
     };
-    let profile = match load_profile(&args[1..]) {
+    let rest = &args[1..];
+    let query = match parse_advice_query(what, rest) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let profile = match load_profile(rest) {
         Ok(p) => p,
         Err(code) => return code,
     };
-    match what.as_str() {
-        "threads" => {
-            let Some(memory) = profile.memory.as_ref() else {
-                eprintln!("profile has no memory characterization");
-                return 1;
-            };
-            match advise_memory_threads(memory, 0.05) {
-                Some(a) => {
-                    println!(
-                        "memory-bound regions: use {} concurrent thread(s) per group {:?}",
-                        a.threads_per_group, a.group
-                    );
-                    println!(
-                        "  aggregate {:.2} GB/s (full group would get {:.2} GB/s)",
-                        a.aggregate_gbs, a.full_aggregate_gbs
-                    );
-                }
-                None => println!("no memory contention measured: use every core"),
-            }
+    match servet::registry::compute_advice(&profile, &query) {
+        Ok(outcome) => {
+            emit_outcome(&outcome, has_flag(rest, "--json"));
             0
         }
-        "tile" => {
-            let level: u8 = flag_value(&args[1..], "--level")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1);
-            match select_tile(&profile, level, 8, 3, 0.75) {
-                Some(choice) => {
-                    println!(
-                        "blocked matmul over f64: tile {} x {} targets the {} KB L{}",
-                        choice.tile,
-                        choice.tile,
-                        choice.cache_size / 1024,
-                        choice.level
-                    );
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let Some(dir) = flag_value(args, "--dir") else {
+        eprintln!("usage: servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N]");
+        return 2;
+    };
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let read_timeout_ms: u64 = flag_value(args, "--read-timeout-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+    let registry = match Registry::open(dir) {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("cannot open registry at {dir}: {e}");
+            return 1;
+        }
+    };
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(read_timeout_ms.max(1)),
+    };
+    match serve(registry, addr, config) {
+        Ok(handle) => {
+            println!(
+                "servet-registry: serving profiles from {dir} on {}",
+                handle.addr()
+            );
+            handle.join();
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            1
+        }
+    }
+}
+
+fn connect(args: &[String]) -> Result<RegistryClient, i32> {
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    RegistryClient::connect(addr).map_err(|e| {
+        eprintln!("cannot connect to registry at {addr}: {e}");
+        1
+    })
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let usage = "usage: servet query <put|get|list|advise|stats> [--addr HOST:PORT] ...";
+    let Some(what) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let rest = &args[1..];
+    let json = has_flag(rest, "--json");
+    match what.as_str() {
+        "put" => {
+            let profile = match load_profile(rest) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let mut client = match connect(rest) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.put(&profile, flag_value(rest, "--name")) {
+                Ok(digest) => {
+                    println!("stored {digest}");
                     0
                 }
-                None => {
-                    eprintln!("profile has no cache level {level}");
+                Err(e) => {
+                    eprintln!("put failed: {e}");
                     1
                 }
             }
         }
-        "bcast" => {
-            if profile.communication.is_none() {
-                eprintln!("profile has no communication characterization");
-                return 1;
+        "get" => {
+            let Some(key) = flag_value(rest, "--key") else {
+                eprintln!("missing --key KEY");
+                return 2;
+            };
+            let mut client = match connect(rest) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.get_profile(key) {
+                Ok((digest, profile)) => {
+                    if json {
+                        println!("{}", profile.to_json());
+                    } else {
+                        println!("digest {digest}");
+                        print_profile(&profile);
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("get failed: {e}");
+                    1
+                }
             }
-            let ranks: usize = flag_value(&args[1..], "--ranks")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(profile.total_cores);
-            let bytes: usize = flag_value(&args[1..], "--bytes")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(32 * 1024);
-            println!("broadcast of {bytes} B to {ranks} ranks — predicted:");
-            for p in select_broadcast(&profile, ranks.min(profile.total_cores), bytes) {
-                println!("  {:>12}: {:>9.1} us", p.algorithm.name(), p.predicted_us);
+        }
+        "list" => {
+            let mut client = match connect(rest) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.list() {
+                Ok(entries) => {
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&entries).expect("entries serialize")
+                        );
+                    } else if entries.is_empty() {
+                        println!("registry is empty");
+                    } else {
+                        for e in entries {
+                            println!(
+                                "{}  {:<16} {:>3} cores  {} cache level(s)  {}",
+                                &e.digest[..12],
+                                e.machine,
+                                e.total_cores,
+                                e.cache_levels,
+                                e.aliases.join(", ")
+                            );
+                        }
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("list failed: {e}");
+                    1
+                }
             }
-            0
+        }
+        "advise" => {
+            let Some(kind) = rest.first() else {
+                eprintln!("usage: servet query advise <threads|tile|bcast> --key KEY [flags]");
+                return 2;
+            };
+            let flags = &rest[1..];
+            let Some(key) = flag_value(flags, "--key") else {
+                eprintln!("missing --key KEY");
+                return 2;
+            };
+            let query = match parse_advice_query(kind, flags) {
+                Ok(q) => q,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            let mut client = match connect(flags) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.advise(key, &query) {
+                Ok((digest, cached, outcome)) => {
+                    if !json {
+                        let origin = if cached { "memoized" } else { "computed" };
+                        println!("profile {digest} ({origin}):");
+                    }
+                    emit_outcome(&outcome, json);
+                    0
+                }
+                Err(e) => {
+                    eprintln!("advise failed: {e}");
+                    1
+                }
+            }
+        }
+        "stats" => {
+            let mut client = match connect(rest) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.stats() {
+                Ok(stats) => {
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&stats).expect("stats serialize")
+                        );
+                    } else {
+                        println!(
+                            "profiles {}  requests {}  advice hits/misses/evictions {}/{}/{}  \
+                             profile-cache hits/misses {}/{}",
+                            stats.profiles,
+                            stats.requests,
+                            stats.advice_hits,
+                            stats.advice_misses,
+                            stats.advice_evictions,
+                            stats.profile_hits,
+                            stats.profile_misses
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("stats failed: {e}");
+                    1
+                }
+            }
         }
         other => {
-            eprintln!("unknown advice '{other}'; use threads | tile | bcast");
+            eprintln!("unknown query '{other}'; {usage}");
             2
         }
     }

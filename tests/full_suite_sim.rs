@@ -66,10 +66,7 @@ fn profile_json_file_round_trip() {
     std::fs::remove_file(&path).ok();
 }
 
-#[cfg_attr(
-    debug_assertions,
-    ignore = "paper-scale machine; run with --release"
-)]
+#[cfg_attr(debug_assertions, ignore = "paper-scale machine; run with --release")]
 #[test]
 fn dunnington_full_suite_matches_paper() {
     let mut platform = SimPlatform::dunnington();
@@ -94,10 +91,7 @@ fn dunnington_full_suite_matches_paper() {
     assert_eq!(comm.layer_of(0, 12), Some(0));
 }
 
-#[cfg_attr(
-    debug_assertions,
-    ignore = "paper-scale machine; run with --release"
-)]
+#[cfg_attr(debug_assertions, ignore = "paper-scale machine; run with --release")]
 #[test]
 fn finis_terrae_full_suite_matches_paper() {
     let mut platform = SimPlatform::finis_terrae(2);
@@ -127,10 +121,7 @@ fn finis_terrae_full_suite_matches_paper() {
     assert!((6.0..8.0).contains(&at32.2), "slowdown = {}", at32.2);
 }
 
-#[cfg_attr(
-    debug_assertions,
-    ignore = "paper-scale machines; run with --release"
-)]
+#[cfg_attr(debug_assertions, ignore = "paper-scale machines; run with --release")]
 #[test]
 fn cache_detection_robust_across_seeds() {
     // The paper's 10/10 result should not depend on one lucky page-
