@@ -108,6 +108,7 @@ pub fn select_broadcast(
     ranks: usize,
     size: usize,
 ) -> Vec<BcastPrediction> {
+    servet_obs::counter("autotune.bcast.rankings").incr();
     let mut preds: Vec<BcastPrediction> = BcastAlgorithm::all()
         .into_iter()
         .map(|algorithm| BcastPrediction {

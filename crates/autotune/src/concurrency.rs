@@ -33,6 +33,7 @@ pub fn advise_memory_threads(
     memory: &MemOverheadResult,
     tolerance: f64,
 ) -> Option<ConcurrencyAdvice> {
+    servet_obs::counter("autotune.threads.calls").incr();
     let class = memory.overheads.first()?;
     let group = class.groups.first()?.clone();
     if class.scalability.is_empty() {

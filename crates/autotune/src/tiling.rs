@@ -36,6 +36,7 @@ pub fn select_tile(
     matrices: usize,
     occupancy: f64,
 ) -> Option<TileChoice> {
+    servet_obs::counter("autotune.tile.selections").incr();
     let cache_size = profile.cache_size(level)?;
     let budget = cache_size as f64 * occupancy / matrices as f64;
     let raw = (budget / elem_size as f64).sqrt() as usize;

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the observability substrate: what the suite
+//! pays per counter bump, per histogram sample, and per recorded span —
+//! the numbers that justify leaving instrumentation always-on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use servet_obs::{Counter, Histogram};
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_counter");
+    let owned = Counter::new();
+    group.bench_function("owned_incr", |b| {
+        b.iter(|| owned.incr());
+    });
+    // The global path adds a registry lookup (mutex + BTreeMap).
+    group.bench_function("global_lookup_and_incr", |b| {
+        b.iter(|| servet_obs::counter(black_box("bench.counter")).incr());
+    });
+    let cached = servet_obs::counter("bench.counter.cached");
+    group.bench_function("global_cached_incr", |b| {
+        b.iter(|| cached.incr());
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_histogram");
+    let h = Histogram::new();
+    let mut v = 1u64;
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            // Vary the sample so bucket selection is not branch-predicted
+            // into irrelevance.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 32));
+        });
+    });
+    for val in [0u64, 1000, u64::MAX] {
+        h.record(val);
+    }
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(h.snapshot()));
+    });
+    let snap = h.snapshot();
+    group.bench_function("quantile", |b| {
+        b.iter(|| black_box(snap.quantile(black_box(0.99))));
+    });
+    group.finish();
+}
+
+fn bench_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_span");
+    // The log is bounded at MAX_SPANS; drain between measurements so the
+    // benchmark never measures the drop-and-count path by accident.
+    group.bench_function("record_drop", |b| {
+        b.iter_with_large_drop(|| servet_obs::span(black_box("bench.span")));
+        servet_obs::take_spans();
+    });
+    servet_obs::set_spans_enabled(false);
+    group.bench_function("disabled_noop", |b| {
+        b.iter_with_large_drop(|| servet_obs::span(black_box("bench.span.off")));
+    });
+    servet_obs::set_spans_enabled(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter, bench_histogram, bench_span);
+criterion_main!(benches);

@@ -167,6 +167,7 @@ pub fn probabilistic_size_with_model(
     if sizes.len() < 2 {
         return None;
     }
+    let _span = servet_obs::span("cache_detect.probabilistic_fit");
     // Two-point normalization: both the measured cycles and each
     // candidate's predicted miss-rate curve are normalized to the window's
     // endpoints. The paper normalizes by the window's MIN/MAX, which
@@ -210,6 +211,7 @@ pub fn probabilistic_size_with_model(
             scored.push((div, cs));
         }
     }
+    servet_obs::counter("cache_detect.candidates_scored").add(scored.len() as u64);
     scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     let best: Vec<usize> = scored.iter().take(5).map(|&(_, cs)| cs).collect();
     mode(&best)
@@ -255,6 +257,7 @@ pub fn detect_cache_levels(
     page_size: usize,
     config: &DetectConfig,
 ) -> Vec<CacheLevelEstimate> {
+    let _span = servet_obs::span("cache_detect.levels");
     let gradients = out.gradients();
     let first_peaks = find_peaks(&gradients, config.gradient_threshold);
     let Some(first) = first_peaks.first() else {

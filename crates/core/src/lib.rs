@@ -23,9 +23,17 @@
 //! [`suite::run_full_suite`] executes everything and produces a
 //! [`profile::MachineProfile`] that can be stored "in a file to be consulted
 //! by the applications" (§IV-E), which the `servet-autotune` crate consumes.
+//! Each run can also emit a [`manifest::RunManifest`] — the measurement
+//! methodology (config, span tree, counters) that produced the profile.
+//!
+//! The hot paths are instrumented with `servet-obs` spans and counters;
+//! `servet --trace` renders the resulting span tree.
+
+#![warn(missing_docs)]
 
 pub mod cache_detect;
 pub mod comm;
+pub mod manifest;
 pub mod mcalibrator;
 pub mod mem_overhead;
 pub mod micro;
@@ -37,6 +45,7 @@ pub mod suite;
 
 pub use cache_detect::{detect_cache_levels, CacheLevelEstimate, DetectConfig, DetectionMethod};
 pub use comm::{characterize_communication, CommConfig, CommResult};
+pub use manifest::{manifest_path, RunManifest, SpanEntry, MANIFEST_VERSION};
 pub use mcalibrator::{mcalibrator, McalibratorConfig, McalibratorOutput};
 pub use mem_overhead::{characterize_memory, MemOverheadConfig, MemOverheadResult};
 pub use micro::{run_micro_probes, MicroConfig, MicroProfile};

@@ -114,7 +114,9 @@ pub fn mcalibrator(
     core: CoreId,
     config: &McalibratorConfig,
 ) -> McalibratorOutput {
+    let _span = servet_obs::span("mcalibrator.sweep");
     let sizes = config.sizes();
+    servet_obs::counter("mcalibrator.samples").add(sizes.len() as u64);
     let cycles = sizes
         .iter()
         .map(|&s| platform.traverse_cycles(core, s, config.stride))

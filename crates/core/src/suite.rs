@@ -110,39 +110,51 @@ pub struct SuiteReport {
 
 /// Run the complete Servet suite on a platform.
 pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> SuiteReport {
+    // Wall-clock spans for `servet --trace` and the run manifest; the
+    // platform's own clock (virtual on the simulator) still feeds the
+    // Table I timings below.
+    let _suite_span = servet_obs::span("suite");
     let t0 = platform.elapsed_seconds();
 
     // Stage 1: cache size estimate (Figs. 1-4).
+    let stage_span = servet_obs::span("suite.cache_size");
     let sweep = mcalibrator(platform, 0, &config.mcalibrator);
     let cache_levels = detect_cache_levels(&sweep, platform.page_size(), &config.detect);
     let micro = if config.run_micro {
+        let _micro_span = servet_obs::span("suite.micro_probes");
         cache_levels
             .first()
             .map(|l1| run_micro_probes(platform, 0, l1.size, &config.micro))
     } else {
         None
     };
+    drop(stage_span);
     let t1 = platform.elapsed_seconds();
 
     // Stage 2: shared caches (Fig. 5).
+    let stage_span = servet_obs::span("suite.shared_caches");
     let shared = if config.skip_shared || platform.num_cores() < 2 {
         None
     } else {
         let sizes: Vec<usize> = cache_levels.iter().map(|c| c.size).collect();
         Some(detect_shared_caches(platform, &sizes, &config.shared))
     };
+    drop(stage_span);
     let t2 = platform.elapsed_seconds();
 
     // Stage 3: memory access overhead (Fig. 6).
+    let stage_span = servet_obs::span("suite.memory_overhead");
     let memory = if config.skip_memory || platform.num_cores() < 2 {
         None
     } else {
         Some(characterize_memory(platform, &config.memory))
     };
+    drop(stage_span);
     let t3 = platform.elapsed_seconds();
 
     // Stage 4: communication costs (Fig. 7), probing with the detected L1
     // size.
+    let stage_span = servet_obs::span("suite.communication");
     let communication = if config.skip_comm || !platform.supports_messaging() {
         None
     } else {
@@ -152,6 +164,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
         }
         Some(characterize_communication(platform, &comm_cfg))
     };
+    drop(stage_span);
     let t4 = platform.elapsed_seconds();
 
     SuiteReport {

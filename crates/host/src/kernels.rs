@@ -57,6 +57,9 @@ pub fn strided_traversal_ns(size: usize, stride: usize) -> f64 {
         }
         let elapsed = start.elapsed().as_nanos();
         if elapsed >= MIN_MEASURE_NS {
+            servet_obs::counter("host.kernel.traversals").incr();
+            servet_obs::histogram("host.kernel.traversal_ns")
+                .record(elapsed.min(u64::MAX as u128) as u64);
             return elapsed as f64 / (passes * accesses_per_pass) as f64;
         }
         passes *= 2;
@@ -129,6 +132,9 @@ pub fn copy_bandwidth_gbs(buf_bytes: usize) -> f64 {
         }
         let elapsed = start.elapsed().as_nanos();
         if elapsed >= MIN_MEASURE_NS * 5 {
+            servet_obs::counter("host.kernel.copies").incr();
+            servet_obs::histogram("host.kernel.copy_ns")
+                .record(elapsed.min(u64::MAX as u128) as u64);
             let bytes = 2.0 * (elems * 8) as f64 * reps as f64;
             return bytes / elapsed as f64; // bytes/ns == GB/s
         }

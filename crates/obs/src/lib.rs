@@ -1,0 +1,87 @@
+//! # servet-obs
+//!
+//! The observability substrate of the Servet workspace: span-based scoped
+//! timers, monotonic counters, and log-bucketed latency histograms behind
+//! a cheap global registry, with JSON export and a human-readable summary
+//! printer. Everything is `std`-only — no dependencies — so every crate
+//! in the workspace (and the CI doc sandbox) can use it freely.
+//!
+//! The three primitives, in increasing cost order:
+//!
+//! * [`Counter`] — one relaxed atomic add; always on; for event totals
+//!   (`mcalibrator.samples`, `advice.computed`).
+//! * [`Histogram`] — one relaxed add into a log2 bucket plus min/max;
+//!   always on; for latency distributions (the registry server records one
+//!   per NDJSON op).
+//! * [`span()`] — an RAII guard that appends to a bounded global log on
+//!   drop; for *phase*-level timing (suite stages, calibration sweeps,
+//!   advice computations). `servet --trace` renders the log as a tree.
+//!
+//! ## Usage
+//!
+//! ```
+//! // Phase timing: the guard records the span when it drops.
+//! {
+//!     let _phase = servet_obs::span("demo.phase");
+//!     servet_obs::counter("demo.items").add(3);
+//!     servet_obs::histogram("demo.latency_ns").record(1_250);
+//! }
+//! let spans = servet_obs::spans_snapshot();
+//! assert!(spans.iter().any(|s| s.name == "demo.phase"));
+//! assert!(servet_obs::counter("demo.items").get() >= 3);
+//! // Machine- and human-readable dumps of everything recorded so far:
+//! let json = servet_obs::export_json();
+//! assert!(json.contains("\"demo.items\""));
+//! println!("{}", servet_obs::summary());
+//! ```
+//!
+//! Components that need isolation from the global namespace (the registry
+//! server's per-op latencies, unit tests) own a [`Metrics`] registry or
+//! raw [`Histogram`]/[`Counter`] values directly; the global registry is
+//! a convenience, not a requirement.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod export;
+pub mod histogram;
+pub mod metrics;
+pub mod span;
+
+pub use counter::Counter;
+pub use export::{export_json, export_json_from, json_escape, summary, summary_from};
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use metrics::Metrics;
+pub use span::{
+    dropped_spans, format_ns, render_span_tree, set_spans_enabled, span, spans_enabled,
+    spans_snapshot, take_spans, SpanGuard, SpanRecord, MAX_SPANS,
+};
+
+use std::sync::Arc;
+
+/// The counter named `name` in the global registry (created on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    metrics::global().counter(name)
+}
+
+/// The histogram named `name` in the global registry (created on first
+/// use).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    metrics::global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_round_trip() {
+        crate::counter("facade.count").add(2);
+        crate::histogram("facade.lat").record(512);
+        {
+            let _g = crate::span("facade.span");
+        }
+        assert!(crate::counter("facade.count").get() >= 2);
+        let json = crate::export_json();
+        assert!(json.contains("facade.count"), "{json}");
+        assert!(json.contains("facade.lat"), "{json}");
+    }
+}

@@ -198,6 +198,8 @@ impl AdviceEngine {
         if let Some(cached) = self.cache.get(&key) {
             return (cached, true);
         }
+        let _span = servet_obs::span("advice.compute");
+        servet_obs::counter("advice.computed").incr();
         let outcome = compute_advice(profile, &resolved);
         self.cache.insert(key, outcome.clone());
         (outcome, false)

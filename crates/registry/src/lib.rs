@@ -22,6 +22,11 @@
 //!   read timeouts and graceful shutdown, and the blocking client used by
 //!   `servet query`.
 //!
+//! Request handling is instrumented with per-operation latency histograms
+//! (`servet-obs`), surfaced through the `stats` protocol command — see
+//! [`protocol::OpLatency`] and `crates/registry/README.md` for the wire
+//! format.
+//!
 //! ```no_run
 //! use servet_registry::prelude::*;
 //! use std::sync::Arc;
@@ -32,6 +37,8 @@
 //! server.join();
 //! # Ok::<(), std::io::Error>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod advice;
 pub mod cache;
@@ -45,7 +52,7 @@ pub mod store;
 pub use advice::{compute_advice, AdviceEngine, AdviceOutcome, AdviceQuery};
 pub use cache::{CacheStats, ShardedCache};
 pub use client::RegistryClient;
-pub use protocol::{Request, Response, ServerStats};
+pub use protocol::{OpLatency, Request, Response, ServerStats};
 pub use registry::Registry;
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};

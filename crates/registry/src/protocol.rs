@@ -45,8 +45,53 @@ pub enum Request {
     Stats,
 }
 
+/// Per-operation request-latency digest reported by [`Response::Stats`].
+///
+/// One entry per protocol operation that has been exercised since server
+/// startup, derived from a log2-bucketed `servet_obs::Histogram`. The
+/// `buckets` field carries the raw `(upper_bound, count)` pairs so clients
+/// can compute their own quantiles; old clients that predate this field
+/// simply ignore it, and old servers that omit `ops` deserialize to an
+/// empty vec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Operation name: `put`, `get`, `list`, `advise`, or `stats`.
+    pub op: String,
+    /// Requests of this operation observed.
+    pub count: u64,
+    /// Total handling time, nanoseconds (saturating).
+    pub total_ns: u64,
+    /// Fastest observed request, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest observed request, nanoseconds.
+    pub max_ns: u64,
+    /// Median latency estimate, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency estimate, nanoseconds.
+    pub p99_ns: u64,
+    /// Non-empty log2 buckets as `(upper_bound, count)` pairs.
+    #[serde(default)]
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl OpLatency {
+    /// Build the wire entry for `op` from a histogram snapshot.
+    pub fn from_snapshot(op: &str, snap: &servet_obs::HistogramSnapshot) -> Self {
+        Self {
+            op: op.to_string(),
+            count: snap.count,
+            total_ns: snap.sum,
+            min_ns: snap.min,
+            max_ns: snap.max,
+            p50_ns: snap.quantile(0.50),
+            p99_ns: snap.quantile(0.99),
+            buckets: snap.buckets.clone(),
+        }
+    }
+}
+
 /// Counter snapshot reported by [`Response::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Profiles currently on disk.
     pub profiles: usize,
@@ -62,15 +107,20 @@ pub struct ServerStats {
     pub profile_hits: u64,
     /// Parsed-profile cache misses.
     pub profile_misses: u64,
+    /// Per-operation latency digests (only operations seen so far).
+    #[serde(default)]
+    pub ops: Vec<OpLatency>,
 }
 
 impl ServerStats {
-    /// Fold the two cache snapshots into the wire struct.
+    /// Fold the cache snapshots and the per-op latency digests into the
+    /// wire struct.
     pub fn from_caches(
         profiles: usize,
         requests: u64,
         advice: CacheStats,
         profile_cache: CacheStats,
+        ops: Vec<OpLatency>,
     ) -> Self {
         Self {
             profiles,
@@ -80,6 +130,7 @@ impl ServerStats {
             advice_evictions: advice.evictions,
             profile_hits: profile_cache.hits,
             profile_misses: profile_cache.misses,
+            ops,
         }
     }
 }
@@ -207,6 +258,48 @@ mod tests {
         assert_eq!(back, resp);
         // EOF after the single line.
         assert!(read_message::<Response>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn stats_round_trip_with_ops() {
+        let h = servet_obs::Histogram::new();
+        for v in [800u64, 1200, 95_000] {
+            h.record(v);
+        }
+        let stats = ServerStats {
+            profiles: 2,
+            requests: 7,
+            ops: vec![OpLatency::from_snapshot("advise", &h.snapshot())],
+            ..Default::default()
+        };
+        let resp = Response::Stats {
+            stats: stats.clone(),
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"op\":\"advise\""), "{json}");
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+        let op = &stats.ops[0];
+        assert_eq!(op.count, 3);
+        assert_eq!(op.min_ns, 800);
+        assert_eq!(op.max_ns, 95_000);
+        assert!(op.p50_ns >= 800 && op.p50_ns <= 2047, "{}", op.p50_ns);
+        assert_eq!(op.p99_ns, 95_000);
+    }
+
+    #[test]
+    fn stats_without_ops_field_still_parses() {
+        // A pre-observability server omits "ops" entirely; the field must
+        // default to empty rather than fail the whole stats reply.
+        let json = r#"{"reply":"stats","stats":{"profiles":1,"requests":2,
+            "advice_hits":0,"advice_misses":0,"advice_evictions":0,
+            "profile_hits":0,"profile_misses":0}}"#;
+        match serde_json::from_str::<Response>(json).unwrap() {
+            Response::Stats { stats } => {
+                assert_eq!(stats.profiles, 1);
+                assert!(stats.ops.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -5,13 +5,54 @@
 
 use crate::advice::{AdviceEngine, AdviceQuery};
 use crate::cache::ShardedCache;
-use crate::protocol::{Request, Response, ServerStats};
+use crate::protocol::{OpLatency, Request, Response, ServerStats};
 use crate::store::{profile_digest, ProfileStore, StoreEntry};
 use servet_core::profile::MachineProfile;
+use servet_obs::Histogram;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-operation handling-latency histograms, owned by the registry (not
+/// the process-global `servet-obs` metrics) so concurrently running
+/// registries — tests, embedded servers — never mix their numbers.
+#[derive(Debug, Default)]
+struct OpMetrics {
+    put: Histogram,
+    get: Histogram,
+    list: Histogram,
+    advise: Histogram,
+    stats: Histogram,
+}
+
+impl OpMetrics {
+    fn histogram(&self, request: &Request) -> &Histogram {
+        match request {
+            Request::Put { .. } => &self.put,
+            Request::Get { .. } => &self.get,
+            Request::List => &self.list,
+            Request::Advise { .. } => &self.advise,
+            Request::Stats => &self.stats,
+        }
+    }
+
+    /// Wire digests for every operation seen so far, in protocol order.
+    fn snapshot(&self) -> Vec<OpLatency> {
+        [
+            ("put", &self.put),
+            ("get", &self.get),
+            ("list", &self.list),
+            ("advise", &self.advise),
+            ("stats", &self.stats),
+        ]
+        .into_iter()
+        .filter(|(_, h)| !h.is_empty())
+        .map(|(op, h)| OpLatency::from_snapshot(op, &h.snapshot()))
+        .collect()
+    }
+}
 
 /// A profile registry over one store directory.
 pub struct Registry {
@@ -21,6 +62,7 @@ pub struct Registry {
     profiles: ShardedCache<String, Arc<MachineProfile>>,
     advice: AdviceEngine,
     requests: AtomicU64,
+    ops: OpMetrics,
 }
 
 impl Registry {
@@ -31,6 +73,7 @@ impl Registry {
             profiles: ShardedCache::new(8, 64),
             advice: AdviceEngine::new(),
             requests: AtomicU64::new(0),
+            ops: OpMetrics::default(),
         })
     }
 
@@ -81,21 +124,32 @@ impl Registry {
         Ok(Some((digest, outcome, cached)))
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, including per-operation latency digests.
     pub fn stats(&self) -> ServerStats {
         ServerStats::from_caches(
             self.store.len().unwrap_or(0),
             self.requests.load(Ordering::Relaxed),
             self.advice.stats(),
             self.profiles.stats(),
+            self.ops.snapshot(),
         )
     }
 
     /// Handle one protocol request — the single dispatch shared by the
     /// TCP server and in-process callers. Never panics on bad input;
-    /// failures become [`Response::Error`].
+    /// failures become [`Response::Error`]. Handling time is recorded
+    /// into the per-operation latency histograms that [`Self::stats`]
+    /// reports.
     pub fn handle(&self, request: Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let histogram = self.ops.histogram(&request);
+        let start = Instant::now();
+        let response = self.dispatch(request);
+        histogram.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::Put { profile, name } => {
                 // Verify the content round-trips under our schema before
@@ -232,6 +286,25 @@ mod tests {
                 assert_eq!(stats.profiles, 1);
                 assert_eq!(stats.advice_hits, 1);
                 assert!(stats.requests >= 5);
+                // Every exercised operation has a latency digest.
+                let op = |name: &str| stats.ops.iter().find(|o| o.op == name);
+                for name in ["put", "get", "list", "advise"] {
+                    let entry = op(name).unwrap_or_else(|| panic!("no digest for {name}"));
+                    assert!(entry.count >= 1);
+                    assert!(entry.max_ns >= entry.min_ns);
+                    assert!(entry.p99_ns >= entry.p50_ns);
+                    assert!(!entry.buckets.is_empty());
+                }
+                // This Stats request itself is still in flight, so `stats`
+                // may or may not appear; it must once a second one lands.
+                assert_eq!(op("ghost"), None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match registry.handle(Request::Stats) {
+            Response::Stats { stats } => {
+                let entry = stats.ops.iter().find(|o| o.op == "stats").unwrap();
+                assert!(entry.count >= 1);
             }
             other => panic!("unexpected {other:?}"),
         }

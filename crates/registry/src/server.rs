@@ -106,6 +106,7 @@ pub fn serve(
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    servet_obs::counter("registry.server.connections").incr();
                     let _ = stream.set_read_timeout(Some(config.read_timeout));
                     let _ = stream.set_nodelay(true);
                     if let Ok(clone) = stream.try_clone() {

@@ -27,6 +27,11 @@
 //!   engine, and a threaded TCP server (`servet serve` / `servet query`).
 //! * [`stats`] (`servet-stats`) — binomial tails, gradients, clustering,
 //!   union-find, regression.
+//! * [`obs`] (`servet-obs`) — spans, counters, and latency histograms;
+//!   `servet --trace` renders the span tree of any run.
+//!
+//! `ARCHITECTURE.md` at the repository root maps these crates to the
+//! paper's sections and to each other.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +54,7 @@ pub use servet_autotune as autotune;
 pub use servet_core as core;
 pub use servet_host as host;
 pub use servet_net as net;
+pub use servet_obs as obs;
 pub use servet_registry as registry;
 pub use servet_sim as sim;
 pub use servet_stats as stats;

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! servet simulate dunnington --out dun.json     # run the suite on a preset
+//! servet suite                                  # shorthand: simulate tiny
 //! servet probe --max-mb 64 --out here.json      # run it on THIS machine
 //! servet show dun.json                          # summarize a profile
 //! servet advise threads --profile dun.json      # memory-concurrency advice
@@ -11,8 +12,13 @@
 //! servet serve --dir ~/.servet --addr 127.0.0.1:7431
 //! servet query put --profile dun.json --name dunnington
 //! servet query advise tile --key dunnington --level 2 --json
+//! servet --trace suite                          # span tree on stderr at exit
 //! ```
+//!
+//! `--out FILE` also writes a `FILE → *.manifest.json` sibling recording
+//! how the profile was measured (config, span tree, counters).
 
+use servet::obs::format_ns;
 use servet::prelude::*;
 use servet::registry::{serve, AdviceOutcome, AdviceQuery, ServerConfig};
 use std::sync::Arc;
@@ -22,9 +28,13 @@ use std::time::Duration;
 const DEFAULT_ADDR: &str = "127.0.0.1:7431";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace` is a global flag: accept it anywhere on the line.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    args.retain(|a| a != "--trace");
     let code = match args.first().map(String::as_str) {
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
@@ -40,7 +50,23 @@ fn main() {
             2
         }
     };
+    if trace {
+        print_trace();
+    }
     std::process::exit(code);
+}
+
+/// Render everything `servet-obs` accumulated during the run: the span
+/// tree of the measurement phases, then the counter/histogram summary.
+/// Goes to stderr so `--json` outputs on stdout stay machine-parseable.
+fn print_trace() {
+    let spans = servet::obs::spans_snapshot();
+    if spans.is_empty() {
+        eprintln!("--trace: no spans recorded");
+    } else {
+        eprint!("{}", servet::obs::render_span_tree(&spans));
+    }
+    eprint!("{}", servet::obs::summary());
 }
 
 fn print_help() {
@@ -49,6 +75,7 @@ fn print_help() {
          \n\
          USAGE:\n\
          \x20 servet simulate <machine> [--micro] [--out FILE]   run the suite on a simulated preset\n\
+         \x20 servet suite [machine] [--out FILE]                like simulate; defaults to 'tiny'\n\
          \x20 servet probe [--max-mb N] [--micro] [--out FILE]   run the suite on this machine\n\
          \x20 servet show <profile.json>                         summarize a stored profile\n\
          \x20 servet advise threads --profile FILE [--tolerance T] [--json]\n\
@@ -61,7 +88,11 @@ fn print_help() {
          \x20 servet query list [--json] [--addr A]\n\
          \x20 servet query advise <threads|tile|bcast> --key KEY [flags] [--json] [--addr A]\n\
          \x20 servet query stats [--json] [--addr A]\n\
-         \x20 servet machines                                    list simulated presets"
+         \x20 servet machines                                    list simulated presets\n\
+         \n\
+         GLOBAL FLAGS:\n\
+         \x20 --trace    render the measurement span tree and metric summary on stderr at exit;\n\
+         \x20            --out FILE also writes FILE's *.manifest.json measurement record"
     );
 }
 
@@ -101,6 +132,15 @@ fn run_and_save(platform: &mut dyn Platform, config: &SuiteConfig, out: Option<&
             return 1;
         }
         println!("profile written to {path}");
+        // The manifest records how the profile was measured: the exact
+        // config plus the observed span tree and counters.
+        let manifest = servet::core::RunManifest::capture(&report, config);
+        let mpath = servet::core::manifest_path(path);
+        if let Err(e) = manifest.save(&mpath) {
+            eprintln!("cannot write {}: {e}", mpath.display());
+            return 1;
+        }
+        println!("run manifest written to {}", mpath.display());
     }
     0
 }
@@ -123,6 +163,19 @@ fn cmd_simulate(args: &[String]) -> i32 {
     };
     config.run_micro = has_flag(args, "--micro");
     run_and_save(&mut platform, &config, flag_value(args, "--out"))
+}
+
+/// `servet suite [machine]` — shorthand for `simulate` that defaults to
+/// the fast `tiny` preset, so `servet --trace suite` demos the span tree
+/// in under a second.
+fn cmd_suite(args: &[String]) -> i32 {
+    if args.first().is_some_and(|a| !a.starts_with("--")) {
+        cmd_simulate(args)
+    } else {
+        let mut with_default = vec!["tiny".to_string()];
+        with_default.extend(args.iter().cloned());
+        cmd_simulate(&with_default)
+    }
 }
 
 fn cmd_probe(args: &[String]) -> i32 {
@@ -476,6 +529,24 @@ fn cmd_query(args: &[String]) -> i32 {
                             stats.profile_hits,
                             stats.profile_misses
                         );
+                        if !stats.ops.is_empty() {
+                            println!("request latency per op:");
+                            for op in &stats.ops {
+                                println!(
+                                    "  {:<8} n={:<8} mean={:<10} p50={:<10} p99={:<10} max={}",
+                                    op.op,
+                                    op.count,
+                                    format_ns(if op.count == 0 {
+                                        0
+                                    } else {
+                                        op.total_ns / op.count
+                                    }),
+                                    format_ns(op.p50_ns),
+                                    format_ns(op.p99_ns),
+                                    format_ns(op.max_ns),
+                                );
+                            }
+                        }
                     }
                     0
                 }
