@@ -74,6 +74,7 @@ fn bench_loopback_round_trip(c: &mut Criterion) {
         "127.0.0.1:0",
         ServerConfig {
             read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

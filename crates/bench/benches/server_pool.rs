@@ -1,0 +1,78 @@
+//! Loopback throughput of the worker-pool registry server under heavy
+//! client concurrency: 64 clients connect together, each issuing a burst
+//! of requests, against a fixed-size pool — the measured counterpart of
+//! the `hammer_64_concurrent_connections_with_bounded_pool` test.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use servet_core::profile::MachineProfile;
+use servet_core::suite::{run_full_suite, SuiteConfig};
+use servet_core::SimPlatform;
+use servet_registry::{serve, Registry, RegistryClient, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 64;
+const REQUESTS_PER_CLIENT: usize = 4;
+
+fn measured_profile() -> MachineProfile {
+    let mut platform = SimPlatform::tiny_cluster().with_noise(0.0);
+    run_full_suite(&mut platform, &SuiteConfig::small(256 * 1024)).profile
+}
+
+fn temp_registry(tag: &str) -> Registry {
+    let dir = std::env::temp_dir().join(format!("servet-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Registry::open(dir).unwrap()
+}
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let profile = measured_profile();
+    let registry = Arc::new(temp_registry("pool"));
+    let server = serve(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_secs(30),
+            // Twice the client count so a full storm queues without
+            // rejections; workers stay at the machine default.
+            backlog: 2 * CLIENTS,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    RegistryClient::connect(addr)
+        .unwrap()
+        .put(&profile, Some("tiny"))
+        .unwrap();
+
+    let mut group = c.benchmark_group("registry_pool");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((CLIENTS * REQUESTS_PER_CLIENT) as u64));
+    group.bench_function("list_64_concurrent_clients", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..CLIENTS {
+                    s.spawn(move || {
+                        let mut client = RegistryClient::connect(addr).unwrap();
+                        for _ in 0..REQUESTS_PER_CLIENT {
+                            black_box(client.list().unwrap());
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+
+    let stats = registry.stats();
+    assert_eq!(
+        stats.accept.rejected, 0,
+        "benchmark backlog must absorb every storm: {:?}",
+        stats.accept
+    );
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_pool_throughput);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 
 use crate::mcalibrator::McalibratorOutput;
 use serde::{Deserialize, Serialize};
-use servet_stats::binomial::Binomial;
+use servet_stats::binomial::{sf_curve, Binomial};
 use servet_stats::gradient::{find_peaks, merge_peaks};
 use servet_stats::summary::mode;
 
@@ -139,6 +139,21 @@ pub fn predicted_miss_rate(np: u64, p: f64, k: usize, model: MissRateModel) -> f
     }
 }
 
+/// [`predicted_miss_rate`] for every page count in `np` at once: one
+/// `O(max(np))` recurrence pass per candidate instead of an independent
+/// binomial tail walk per sample (see [`sf_curve`]).
+pub fn predicted_miss_curve(np: &[u64], p: f64, k: usize, model: MissRateModel) -> Vec<f64> {
+    match model {
+        MissRateModel::SizeBiased => {
+            // sf_{n-1}(k-1); np = 0 maps to n = 0 ≤ k-1, which sf_curve
+            // already answers with 0 — matching the scalar form.
+            let shifted: Vec<u64> = np.iter().map(|&n| n.saturating_sub(1)).collect();
+            sf_curve(&shifted, p, k as u64 - 1)
+        }
+        MissRateModel::PaperApprox => sf_curve(np, p, k as u64),
+    }
+}
+
 /// The probabilistic cache-size algorithm (paper Fig. 3).
 ///
 /// `sizes`/`cycles` are the mcalibrator samples of the transition window of
@@ -163,11 +178,54 @@ pub fn probabilistic_size_with_model(
     grid: &CandidateGrid,
     model: MissRateModel,
 ) -> Option<usize> {
+    let _span = servet_obs::span("cache_detect.probabilistic_fit");
+    let scored = scored_candidates(sizes, cycles, page_size, grid, model, None)?;
+    let _rank = servet_obs::span("cache_detect.fit.rank");
+    let best: Vec<usize> = scored.iter().take(5).map(|&(_, cs)| cs).collect();
+    mode(&best)
+}
+
+/// How many candidates one scoring worker must have to make a thread
+/// worth spawning: below this the fork/join overhead beats the win.
+const MIN_CANDIDATES_PER_THREAD: usize = 16;
+
+/// Worker count for `n_candidates`, honoring an explicit override.
+fn scoring_threads(n_candidates: usize, requested: Option<usize>) -> usize {
+    let threads = requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_candidates / MIN_CANDIDATES_PER_THREAD)
+    });
+    threads.clamp(1, n_candidates.max(1))
+}
+
+/// The scored `(divergence, CS)` ranking behind [`probabilistic_size`]:
+/// every `(CS, K)` candidate of the grid that can explain the window,
+/// sorted by `(divergence, CS)`.
+///
+/// The tie-break on `CS` makes the ranking — and therefore the detected
+/// size — independent of grid iteration order and of how candidates are
+/// partitioned across scoring threads.
+///
+/// `threads` forces the worker count (`Some(1)` = the serial path,
+/// `None` = auto-size to the machine). The output is **bit-identical**
+/// for every thread count: candidates are scored independently, written
+/// to per-chunk slots in grid order, and merged deterministically —
+/// `cache_detect` tests pin serial against parallel. Returns `None` when
+/// the window carries no signal (under two samples, or flat cycles).
+pub fn scored_candidates(
+    sizes: &[usize],
+    cycles: &[f64],
+    page_size: usize,
+    grid: &CandidateGrid,
+    model: MissRateModel,
+    threads: Option<usize>,
+) -> Option<Vec<(f64, usize)>> {
     assert_eq!(sizes.len(), cycles.len());
     if sizes.len() < 2 {
         return None;
     }
-    let _span = servet_obs::span("cache_detect.probabilistic_fit");
     // Two-point normalization: both the measured cycles and each
     // candidate's predicted miss-rate curve are normalized to the window's
     // endpoints. The paper normalizes by the window's MIN/MAX, which
@@ -191,30 +249,68 @@ pub fn probabilistic_size_with_model(
     let hi = *sizes.last().expect("non-empty window");
     let tentative = grid.restricted(lo, hi);
 
-    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(tentative.len() * grid.assocs.len());
-    for &cs in &tentative {
-        for &k in &grid.assocs {
-            let p = (k * page_size) as f64 / cs as f64;
-            let p_first = predicted_miss_rate(np[0], p, k, model);
-            let p_last = predicted_miss_rate(*np.last().expect("non-empty"), p, k, model);
-            let p_span = p_last - p_first;
-            if p_span < 0.05 {
-                // The candidate predicts an essentially flat window: it
-                // cannot explain the observed transition at all.
-                continue;
-            }
-            let mut div = 0.0;
-            for (i, &pages) in np.iter().enumerate() {
-                let predicted = (predicted_miss_rate(pages, p, k, model) - p_first) / p_span;
-                div += (mr[i] - predicted).abs();
-            }
-            scored.push((div, cs));
+    let candidates: Vec<(usize, usize)> = tentative
+        .iter()
+        .flat_map(|&cs| grid.assocs.iter().map(move |&k| (cs, k)))
+        .collect();
+    let threads = scoring_threads(candidates.len(), threads);
+
+    // One slot per candidate, written in grid order whatever the thread
+    // count, so the merged result never depends on scheduling.
+    let mut slots: Vec<Option<(f64, usize)>> = vec![None; candidates.len()];
+    {
+        let _span = servet_obs::span("cache_detect.fit.score");
+        if threads <= 1 {
+            score_chunk(&np, &mr, page_size, model, &candidates, &mut slots);
+        } else {
+            servet_obs::counter("cache_detect.parallel_fits").incr();
+            let chunk = candidates.len().div_ceil(threads);
+            let (np, mr) = (&np, &mr);
+            std::thread::scope(|s| {
+                for (cands, out) in candidates.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    s.spawn(move || score_chunk(np, mr, page_size, model, cands, out));
+                }
+            });
         }
     }
+    let mut scored: Vec<(f64, usize)> = slots.into_iter().flatten().collect();
     servet_obs::counter("cache_detect.candidates_scored").add(scored.len() as u64);
-    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let best: Vec<usize> = scored.iter().take(5).map(|&(_, cs)| cs).collect();
-    mode(&best)
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    Some(scored)
+}
+
+/// Score a contiguous run of candidates into its output slots — the body
+/// both the serial and the parallel path share, so they cannot diverge.
+fn score_chunk(
+    np: &[u64],
+    mr: &[f64],
+    page_size: usize,
+    model: MissRateModel,
+    candidates: &[(usize, usize)],
+    out: &mut [Option<(f64, usize)>],
+) {
+    debug_assert_eq!(candidates.len(), out.len());
+    for (&(cs, k), slot) in candidates.iter().zip(out) {
+        let p = (k * page_size) as f64 / cs as f64;
+        // The whole predicted curve in one recurrence pass; the endpoints
+        // are the first/last points of the same curve rather than two
+        // extra binomial evaluations.
+        let curve = predicted_miss_curve(np, p, k, model);
+        let p_first = curve[0];
+        let p_last = *curve.last().expect("non-empty window");
+        let p_span = p_last - p_first;
+        if p_span < 0.05 {
+            // The candidate predicts an essentially flat window: it
+            // cannot explain the observed transition at all.
+            continue;
+        }
+        let mut div = 0.0;
+        for (i, &predicted_raw) in curve.iter().enumerate() {
+            let predicted = (predicted_raw - p_first) / p_span;
+            div += (mr[i] - predicted).abs();
+        }
+        *slot = Some((div, cs));
+    }
 }
 
 /// Configuration for the overall level-detection algorithm (Fig. 4).
@@ -435,6 +531,120 @@ mod tests {
         assert_eq!(levels.len(), 2, "{levels:?}");
         assert_eq!(levels[1].size, 64 * KB);
         assert_eq!(levels[1].method, DetectionMethod::GradientPeak);
+    }
+
+    /// A realistic smeared window (2 MB 8-way cache, sampled every 512 KB)
+    /// with measurement-like jitter baked in deterministically.
+    fn smeared_window(points: usize) -> (Vec<usize>, Vec<f64>) {
+        let page = 4 * KB;
+        let (true_cs, true_k) = (2 * MB, 8usize);
+        let p = (true_k * page) as f64 / true_cs as f64;
+        let sizes: Vec<usize> = (1..=points).map(|i| i * 512 * KB).collect();
+        let cycles: Vec<f64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let mr =
+                    predicted_miss_rate((s / page) as u64, p, true_k, MissRateModel::SizeBiased);
+                // ±0.4 % deterministic wobble so ties are realistic.
+                let wobble = 1.0 + 0.004 * ((i * 2654435761) % 1000) as f64 / 1000.0;
+                (14.0 + 286.0 * mr) * wobble
+            })
+            .collect();
+        (sizes, cycles)
+    }
+
+    /// Acceptance gate: the parallel scoring path must be bit-identical
+    /// to the serial one — same candidates, same divergences, same order —
+    /// for every thread count, on both miss-rate models.
+    #[test]
+    fn parallel_scoring_is_bit_identical_to_serial() {
+        let (sizes, cycles) = smeared_window(10);
+        let grid = CandidateGrid::default();
+        for model in [MissRateModel::SizeBiased, MissRateModel::PaperApprox] {
+            let serial = scored_candidates(&sizes, &cycles, 4 * KB, &grid, model, Some(1)).unwrap();
+            assert!(!serial.is_empty());
+            for threads in [2usize, 3, 4, 7, 16, 64] {
+                let parallel =
+                    scored_candidates(&sizes, &cycles, 4 * KB, &grid, model, Some(threads))
+                        .unwrap();
+                assert_eq!(serial.len(), parallel.len(), "threads = {threads}");
+                for (s, p) in serial.iter().zip(&parallel) {
+                    assert_eq!(s.1, p.1, "candidate order diverged at threads = {threads}");
+                    assert_eq!(
+                        s.0.to_bits(),
+                        p.0.to_bits(),
+                        "divergence bits diverged for cs = {} at threads = {threads}",
+                        s.1
+                    );
+                }
+            }
+            // And the detected size (auto thread count) matches the serial
+            // ranking's verdict.
+            let auto = probabilistic_size_with_model(&sizes, &cycles, 4 * KB, &grid, model);
+            let best: Vec<usize> = serial.iter().take(5).map(|&(_, cs)| cs).collect();
+            assert_eq!(auto, mode(&best));
+        }
+    }
+
+    /// Equal-divergence candidates must rank by CS, not by grid iteration
+    /// order — reversing the grid must not change the ranking.
+    #[test]
+    fn candidate_ranking_breaks_ties_deterministically() {
+        let (sizes, cycles) = smeared_window(8);
+        let grid = CandidateGrid::default();
+        let mut reversed = grid.clone();
+        reversed.sizes.reverse();
+        reversed.assocs.reverse();
+        let a = scored_candidates(
+            &sizes,
+            &cycles,
+            4 * KB,
+            &grid,
+            MissRateModel::SizeBiased,
+            Some(1),
+        )
+        .unwrap();
+        let b = scored_candidates(
+            &sizes,
+            &cycles,
+            4 * KB,
+            &reversed,
+            MissRateModel::SizeBiased,
+            Some(1),
+        )
+        .unwrap();
+        let key = |v: &[(f64, usize)]| -> Vec<(u64, usize)> {
+            v.iter().map(|&(d, cs)| (d.to_bits(), cs)).collect()
+        };
+        // Same candidate set either way; the sorted (divergence, CS) keys
+        // must agree exactly.
+        let (mut ka, mut kb) = (key(&a), key(&b));
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
+        let top_a: Vec<usize> = a.iter().take(5).map(|&(_, cs)| cs).collect();
+        let top_b: Vec<usize> = b.iter().take(5).map(|&(_, cs)| cs).collect();
+        assert_eq!(top_a, top_b, "tie-break must neutralize grid order");
+    }
+
+    /// The batched curve is the scalar model evaluated at every sample.
+    #[test]
+    fn predicted_miss_curve_matches_scalar_model() {
+        let np: Vec<u64> = (0..=12).map(|i| i * 137).collect();
+        for model in [MissRateModel::SizeBiased, MissRateModel::PaperApprox] {
+            for &(p, k) in &[(0.015625f64, 8usize), (0.25, 2), (0.001, 24)] {
+                let curve = predicted_miss_curve(&np, p, k, model);
+                for (i, &pages) in np.iter().enumerate() {
+                    let want = predicted_miss_rate(pages, p, k, model);
+                    assert!(
+                        (curve[i] - want).abs() < 1e-9,
+                        "curve[{i}] = {} vs scalar {want} (p={p}, k={k}, {model:?})",
+                        curve[i]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //! * [`registry`] — store + caches behind a single request dispatch.
 //! * [`protocol`] — the newline-delimited JSON wire types (documented in
 //!   `DESIGN.md`).
-//! * [`server`] / [`client`] — a threaded TCP server with per-connection
-//!   read timeouts and graceful shutdown, and the blocking client used by
-//!   `servet query`.
+//! * [`server`] / [`client`] — a TCP server running a fixed-size worker
+//!   pool over a bounded accept queue (per-connection read timeouts,
+//!   reject-on-overload, graceful shutdown), and the blocking client
+//!   used by `servet query`.
 //!
 //! Request handling is instrumented with per-operation latency histograms
 //! (`servet-obs`), surfaced through the `stats` protocol command — see
@@ -52,8 +53,8 @@ pub mod store;
 pub use advice::{compute_advice, AdviceEngine, AdviceOutcome, AdviceQuery};
 pub use cache::{CacheStats, ShardedCache};
 pub use client::RegistryClient;
-pub use protocol::{OpLatency, Request, Response, ServerStats};
-pub use registry::Registry;
+pub use protocol::{AcceptStats, OpLatency, Request, Response, ServerStats};
+pub use registry::{AcceptCounters, Registry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};
 

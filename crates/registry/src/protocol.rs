@@ -90,6 +90,28 @@ impl OpLatency {
     }
 }
 
+/// Accept-path counters reported by [`Response::Stats`]: how the TCP
+/// front end's bounded worker pool is coping with its connection load.
+///
+/// All fields default to zero so replies from servers that predate the
+/// worker pool (or from in-process registries that never serve TCP)
+/// still parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AcceptStats {
+    /// Connections handed to the worker pool since startup.
+    #[serde(default)]
+    pub accepted: u64,
+    /// Connections dropped because the accept queue was full.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Connections currently queued awaiting a free worker.
+    #[serde(default)]
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` since startup.
+    #[serde(default)]
+    pub queue_depth_max: u64,
+}
+
 /// Counter snapshot reported by [`Response::Stats`].
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServerStats {
@@ -110,17 +132,21 @@ pub struct ServerStats {
     /// Per-operation latency digests (only operations seen so far).
     #[serde(default)]
     pub ops: Vec<OpLatency>,
+    /// Accept-path counters of the serving worker pool.
+    #[serde(default)]
+    pub accept: AcceptStats,
 }
 
 impl ServerStats {
-    /// Fold the cache snapshots and the per-op latency digests into the
-    /// wire struct.
+    /// Fold the cache snapshots, the per-op latency digests and the
+    /// accept-path counters into the wire struct.
     pub fn from_caches(
         profiles: usize,
         requests: u64,
         advice: CacheStats,
         profile_cache: CacheStats,
         ops: Vec<OpLatency>,
+        accept: AcceptStats,
     ) -> Self {
         Self {
             profiles,
@@ -131,6 +157,7 @@ impl ServerStats {
             profile_hits: profile_cache.hits,
             profile_misses: profile_cache.misses,
             ops,
+            accept,
         }
     }
 }
@@ -284,6 +311,28 @@ mod tests {
         assert_eq!(op.max_ns, 95_000);
         assert!(op.p50_ns >= 800 && op.p50_ns <= 2047, "{}", op.p50_ns);
         assert_eq!(op.p99_ns, 95_000);
+    }
+
+    #[test]
+    fn accept_stats_round_trip_and_default() {
+        let stats = ServerStats {
+            profiles: 1,
+            accept: AcceptStats {
+                accepted: 70,
+                rejected: 3,
+                queue_depth: 2,
+                queue_depth_max: 9,
+            },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"rejected\":3"), "{json}");
+        assert_eq!(serde_json::from_str::<ServerStats>(&json).unwrap(), stats);
+        // A pre-pool server omits "accept" entirely: all-zero default.
+        let old = r#"{"profiles":1,"requests":2,"advice_hits":0,"advice_misses":0,
+            "advice_evictions":0,"profile_hits":0,"profile_misses":0}"#;
+        let parsed: ServerStats = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.accept, AcceptStats::default());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::advice::{AdviceEngine, AdviceQuery};
 use crate::cache::ShardedCache;
-use crate::protocol::{OpLatency, Request, Response, ServerStats};
+use crate::protocol::{AcceptStats, OpLatency, Request, Response, ServerStats};
 use crate::store::{profile_digest, ProfileStore, StoreEntry};
 use servet_core::profile::MachineProfile;
 use servet_obs::Histogram;
@@ -54,6 +54,55 @@ impl OpMetrics {
     }
 }
 
+/// Live accept-path counters, owned by the registry so the `stats`
+/// operation can report the serving layer's health next to the per-op
+/// latency digests. The TCP front end increments them; an in-process
+/// registry simply reports zeros.
+#[derive(Debug, Default)]
+pub struct AcceptCounters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_max: AtomicU64,
+}
+
+impl AcceptCounters {
+    /// A connection is about to be offered to the worker queue. Counted
+    /// into the depth *before* the offer so a racing worker's
+    /// [`Self::dequeued`] can never underflow it.
+    pub fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The queue took the connection ([`Self::enqueued`] already ran).
+    pub fn committed(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker took a queued connection into service.
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The queue was full ([`Self::enqueued`] already ran): roll the depth
+    /// back and count the drop.
+    pub fn rejected(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current values as the wire struct.
+    pub fn snapshot(&self) -> AcceptStats {
+        AcceptStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A profile registry over one store directory.
 pub struct Registry {
     store: ProfileStore,
@@ -63,6 +112,7 @@ pub struct Registry {
     advice: AdviceEngine,
     requests: AtomicU64,
     ops: OpMetrics,
+    accept: AcceptCounters,
 }
 
 impl Registry {
@@ -74,12 +124,18 @@ impl Registry {
             advice: AdviceEngine::new(),
             requests: AtomicU64::new(0),
             ops: OpMetrics::default(),
+            accept: AcceptCounters::default(),
         })
     }
 
     /// The underlying store.
     pub fn store(&self) -> &ProfileStore {
         &self.store
+    }
+
+    /// The accept-path counters the TCP front end maintains.
+    pub fn accept_counters(&self) -> &AcceptCounters {
+        &self.accept
     }
 
     /// Store a profile (optionally aliased); returns its digest.
@@ -132,6 +188,7 @@ impl Registry {
             self.advice.stats(),
             self.profiles.stats(),
             self.ops.snapshot(),
+            self.accept.snapshot(),
         )
     }
 
@@ -315,6 +372,27 @@ mod tests {
             Response::Error { error } => assert!(error.contains("ghost")),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn accept_counters_track_depth_and_high_water() {
+        let registry = temp_registry("accept");
+        let c = registry.accept_counters();
+        assert_eq!(c.snapshot(), AcceptStats::default());
+        for _ in 0..3 {
+            c.enqueued();
+            c.committed();
+        }
+        c.dequeued();
+        c.enqueued();
+        c.rejected();
+        let snap = c.snapshot();
+        assert_eq!(snap.accepted, 3);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.queue_depth_max, 3);
+        // And the stats surface carries them.
+        assert_eq!(registry.stats().accept, snap);
     }
 
     #[test]

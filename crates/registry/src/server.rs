@@ -1,20 +1,40 @@
-//! The threaded TCP front end: one OS thread per connection, speaking
-//! the newline-delimited JSON protocol of [`crate::protocol`].
+//! The TCP front end: a fixed-size worker pool over a bounded accept
+//! queue, speaking the newline-delimited JSON protocol of
+//! [`crate::protocol`].
+//!
+//! The acceptor thread owns the listener and hands each accepted socket
+//! to one of [`ServerConfig::workers`] long-lived worker threads through
+//! a bounded channel of [`ServerConfig::backlog`] slots. When every
+//! worker is busy and the queue is full, new connections are closed
+//! immediately instead of spawning unbounded threads — the server never
+//! runs more than `workers + 1` threads regardless of client count.
+//! Queue depth, its high-water mark, and the rejected-connection count
+//! are recorded on [`Registry::accept_counters`] and exported through
+//! the `stats` operation.
 //!
 //! Connections carry any number of request lines; each gets exactly one
 //! response line. A per-connection read timeout drops idle or stalled
 //! clients, and [`ServerHandle::shutdown`] stops accepting, closes every
-//! live connection, and joins all threads before returning — so tests
-//! (and `servet serve` under a signal) always exit cleanly.
+//! live connection (queued ones included), and joins all threads before
+//! returning — so tests (and `servet serve` under a signal) always exit
+//! cleanly.
 
 use crate::protocol::{read_message, write_message, Request, Response};
 use crate::registry::Registry;
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Live connections by id, so [`ServerHandle::shutdown`] can close them
+/// and a worker can *deregister* its connection once served. The worker
+/// explicitly `shutdown()`s the socket rather than relying on drop: a
+/// registered clone would otherwise keep the kernel socket open and the
+/// client would never see EOF.
+type ConnMap = Mutex<HashMap<u64, TcpStream>>;
 
 /// Tunables for [`serve`].
 #[derive(Debug, Clone)]
@@ -22,12 +42,30 @@ pub struct ServerConfig {
     /// Per-connection read timeout; a client silent for this long is
     /// disconnected.
     pub read_timeout: Duration,
+    /// Worker threads serving connections. The server never runs more
+    /// serving threads than this (plus the acceptor), no matter how many
+    /// clients connect.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker. When all
+    /// workers are busy and this many connections are already queued,
+    /// further arrivals are closed immediately and counted as rejected.
+    pub backlog: usize,
+    /// Prefix for server thread names (`<prefix>-accept`,
+    /// `<prefix>-worker-N`), useful for telling pools apart in
+    /// `/proc/<pid>/task` or a debugger.
+    pub thread_prefix: String,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             read_timeout: Duration::from_secs(30),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 8),
+            backlog: 128,
+            thread_prefix: "servet".into(),
         }
     }
 }
@@ -37,7 +75,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: Arc<ConnMap>,
 }
 
 impl ServerHandle {
@@ -63,11 +101,12 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock every worker stuck in a read.
         if let Ok(conns) = self.conns.lock() {
-            for conn in conns.iter() {
+            for conn in conns.values() {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
-        // Unblock the accept loop with a wake-up connection.
+        // Unblock the accept loop with a wake-up connection. The acceptor
+        // then drops the queue sender, which drains the workers.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -84,6 +123,10 @@ impl Drop for ServerHandle {
 }
 
 /// Bind `addr` and serve `registry` until [`ServerHandle::shutdown`].
+///
+/// Spawns `config.workers` worker threads and one acceptor; accepted
+/// sockets flow to workers through a channel bounded by
+/// `config.backlog`.
 pub fn serve(
     registry: Arc<Registry>,
     addr: impl ToSocketAddrs,
@@ -92,15 +135,50 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns: Arc<ConnMap> = Arc::new(Mutex::new(HashMap::new()));
+
+    let (tx, rx) = mpsc::sync_channel::<(u64, TcpStream)>(config.backlog.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        let rx = Arc::clone(&rx);
+        let conns = Arc::clone(&conns);
+        let worker = std::thread::Builder::new()
+            .name(format!("{}-worker-{i}", config.thread_prefix))
+            .spawn(move || loop {
+                // Hold the receiver lock only for the blocking recv; the
+                // connection is served with the lock released so the
+                // other workers keep draining the queue.
+                let received = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                let Ok((id, stream)) = received else { break };
+                registry.accept_counters().dequeued();
+                if !shutdown.load(Ordering::SeqCst) {
+                    serve_connection(&registry, &stream, &shutdown);
+                }
+                // Half the socket lives in the `conns` map, so dropping
+                // our handle would not close it — shut it down explicitly
+                // (sends FIN / EOF to the client) and deregister it.
+                let _ = stream.shutdown(Shutdown::Both);
+                if let Ok(mut conns) = conns.lock() {
+                    conns.remove(&id);
+                }
+            })?;
+        workers.push(worker);
+    }
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
         let conns = Arc::clone(&conns);
         std::thread::Builder::new()
-            .name("servet-accept".into())
+            .name(format!("{}-accept", config.thread_prefix))
             .spawn(move || {
-                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_id: u64 = 0;
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
@@ -109,23 +187,37 @@ pub fn serve(
                     servet_obs::counter("registry.server.connections").incr();
                     let _ = stream.set_read_timeout(Some(config.read_timeout));
                     let _ = stream.set_nodelay(true);
-                    if let Ok(clone) = stream.try_clone() {
-                        if let Ok(mut conns) = conns.lock() {
-                            conns.push(clone);
+                    let id = next_id;
+                    next_id += 1;
+                    // Register the connection *before* handing it to the
+                    // pool so shutdown can always see (and close) it.
+                    if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), conns.lock()) {
+                        conns.insert(id, clone);
+                    }
+                    let counters = registry.accept_counters();
+                    counters.enqueued();
+                    match tx.try_send((id, stream)) {
+                        Ok(()) => counters.committed(),
+                        Err(mpsc::TrySendError::Full((id, stream))) => {
+                            counters.rejected();
+                            servet_obs::counter("registry.server.rejected").incr();
+                            let _ = stream.shutdown(Shutdown::Both);
+                            if let Ok(mut conns) = conns.lock() {
+                                conns.remove(&id);
+                            }
+                        }
+                        Err(mpsc::TrySendError::Disconnected((id, stream))) => {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            if let Ok(mut conns) = conns.lock() {
+                                conns.remove(&id);
+                            }
+                            break;
                         }
                     }
-                    let registry = Arc::clone(&registry);
-                    let shutdown = Arc::clone(&shutdown);
-                    let worker = std::thread::Builder::new()
-                        .name("servet-conn".into())
-                        .spawn(move || serve_connection(&registry, stream, &shutdown));
-                    if let Ok(worker) = worker {
-                        workers.push(worker);
-                    }
-                    // Reap finished workers so long servers don't
-                    // accumulate handles.
-                    workers.retain(|w| !w.is_finished());
                 }
+                // Dropping the sender wakes every worker out of recv once
+                // the queue is drained; join them so shutdown is total.
+                drop(tx);
                 for worker in workers {
                     let _ = worker.join();
                 }
@@ -141,11 +233,13 @@ pub fn serve(
 }
 
 /// Serve one connection: a loop of read-line → dispatch → write-line.
-fn serve_connection(registry: &Registry, stream: TcpStream, shutdown: &AtomicBool) {
-    let Ok(write_half) = stream.try_clone() else {
+/// The caller keeps ownership of the socket so it can `shutdown()` it
+/// afterwards regardless of how the loop ends.
+fn serve_connection(registry: &Registry, stream: &TcpStream, shutdown: &AtomicBool) {
+    let (Ok(read_half), Ok(write_half)) = (stream.try_clone(), stream.try_clone()) else {
         return;
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(write_half);
     while !shutdown.load(Ordering::SeqCst) {
         match read_message::<Request>(&mut reader) {
@@ -191,6 +285,36 @@ mod tests {
         Arc::new(Registry::open(dir).unwrap())
     }
 
+    /// Poll `cond` until it holds or a 30 s deadline passes.
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !cond() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for: {what}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Count live threads of this process whose name starts with
+    /// `prefix` (names are truncated to 15 bytes by the kernel, so keep
+    /// prefixes short).
+    #[cfg(target_os = "linux")]
+    fn threads_with_prefix(prefix: &str) -> usize {
+        let mut count = 0;
+        if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+            for entry in entries.flatten() {
+                if let Ok(name) = std::fs::read_to_string(entry.path().join("comm")) {
+                    if name.trim_end().starts_with(prefix) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
     #[test]
     fn round_trip_over_loopback() {
         let registry = temp_registry("loopback");
@@ -199,6 +323,7 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 read_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -228,6 +353,7 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 read_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -253,6 +379,7 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 read_timeout: Duration::from_millis(100),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -272,6 +399,7 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 read_timeout: Duration::from_secs(60),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -288,5 +416,162 @@ mod tests {
         );
         // EOF or a reset error are both acceptable.
         assert!(!matches!(got, Ok(Some(_))), "unexpected message {got:?}");
+    }
+
+    /// The acceptance bar for the pool: 64 concurrent connections are
+    /// all admitted while the server runs exactly `workers + 1` threads,
+    /// and the accept counters record the queue pressure.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn worker_pool_bounds_server_threads_under_load() {
+        const CLIENTS: usize = 64;
+        const WORKERS: usize = 4;
+        let registry = temp_registry("pool");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: WORKERS,
+                backlog: CLIENTS,
+                thread_prefix: "pool64".into(),
+                read_timeout: Duration::from_secs(30),
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let barrier = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    // Hold the connection open until the main thread has
+                    // sampled the server's thread count.
+                    barrier.wait();
+                    drop(stream);
+                })
+            })
+            .collect();
+
+        wait_until("all clients admitted", || {
+            registry.accept_counters().snapshot().accepted >= CLIENTS as u64
+        });
+        // 64 live connections, yet the server is exactly the fixed pool.
+        assert_eq!(threads_with_prefix("pool64"), WORKERS + 1);
+        let snap = registry.accept_counters().snapshot();
+        assert_eq!(snap.accepted, CLIENTS as u64);
+        assert_eq!(snap.rejected, 0, "nothing rejected: {snap:?}");
+        // Each worker can absorb at most one connection; the rest must
+        // have been queued at some point.
+        assert!(
+            snap.queue_depth_max >= (CLIENTS - WORKERS) as u64,
+            "high water too low: {snap:?}"
+        );
+
+        barrier.wait();
+        for c in clients {
+            c.join().unwrap();
+        }
+        server.shutdown();
+        assert_eq!(threads_with_prefix("pool64"), 0, "pool threads leaked");
+    }
+
+    #[test]
+    fn full_accept_queue_rejects_new_connections() {
+        use std::io::{BufRead as _, Write as _};
+        let registry = temp_registry("reject");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                backlog: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let counters = registry.accept_counters();
+
+        // First connection occupies the only worker...
+        let busy = TcpStream::connect(server.addr()).unwrap();
+        wait_until("first connection in service", || {
+            let s = counters.snapshot();
+            s.accepted == 1 && s.queue_depth == 0
+        });
+        // ...the second fills the one-slot queue...
+        let queued = TcpStream::connect(server.addr()).unwrap();
+        wait_until("second connection queued", || {
+            counters.snapshot().accepted == 2
+        });
+        // ...and the third is turned away with an immediate close.
+        let turned_away = TcpStream::connect(server.addr()).unwrap();
+        wait_until("third connection rejected", || {
+            counters.snapshot().rejected == 1
+        });
+        let mut reader = BufReader::new(turned_away);
+        let got: io::Result<Option<Response>> = read_message(&mut reader);
+        assert!(matches!(got, Ok(None)), "expected EOF, got {got:?}");
+
+        // Freeing the worker lets the queued connection get service:
+        // a (malformed) request line still draws a response line.
+        drop(busy);
+        let mut queued_reader = BufReader::new(queued.try_clone().unwrap());
+        let mut queued = queued;
+        queued.write_all(b"not json\n").unwrap();
+        let mut line = String::new();
+        queued_reader.read_line(&mut line).unwrap();
+        assert!(
+            !line.trim().is_empty(),
+            "queued connection never got served"
+        );
+
+        let snap = counters.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert!(snap.queue_depth_max >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_connections() {
+        let registry = temp_registry("drain");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                backlog: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let counters = registry.accept_counters();
+
+        let busy = TcpStream::connect(server.addr()).unwrap();
+        wait_until("first connection in service", || {
+            let s = counters.snapshot();
+            s.accepted == 1 && s.queue_depth == 0
+        });
+        let queued_a = TcpStream::connect(server.addr()).unwrap();
+        let queued_b = TcpStream::connect(server.addr()).unwrap();
+        wait_until("two connections queued", || {
+            counters.snapshot().accepted == 3
+        });
+
+        // Shutdown must close the served AND the still-queued
+        // connections, promptly.
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+        for stream in [busy, queued_a, queued_b] {
+            let mut reader = BufReader::new(stream);
+            let got: io::Result<Option<Response>> = read_message(&mut reader);
+            assert!(!matches!(got, Ok(Some(_))), "unexpected message {got:?}");
+        }
     }
 }

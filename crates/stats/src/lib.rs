@@ -6,8 +6,11 @@
 //! handful of statistical primitives, collected here:
 //!
 //! * [`binomial`] — the binomial tail probability `P(X > K)` that drives the
-//!   probabilistic cache-size algorithm (paper Fig. 3), computed stably via
-//!   log-gamma so that page counts in the tens of thousands do not overflow.
+//!   probabilistic cache-size algorithm (paper Fig. 3), computed stably in
+//!   log space so that page counts in the tens of thousands do not overflow,
+//!   and cheaply via mode-seeded incremental recurrences (one log-gamma
+//!   evaluation per tail sum, plus the batched [`sf_curve`] that yields a
+//!   candidate's whole predicted curve in a single pass).
 //! * [`gradient`](mod@gradient) — gradients `C[k+1]/C[k]` of a measurement series and peak
 //!   detection over them (paper Figs. 2b and 4).
 //! * [`cluster`] — one-dimensional tolerance clustering used to group "similar"
@@ -27,7 +30,7 @@ pub mod groups;
 pub mod regress;
 pub mod summary;
 
-pub use binomial::Binomial;
+pub use binomial::{sf_curve, Binomial};
 pub use cluster::{cluster_by_tolerance, Cluster};
 pub use gradient::{find_peaks, gradient, merge_peaks, Peak};
 pub use groups::{groups_from_pairs, DisjointSet};

@@ -1,7 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
-use servet_stats::binomial::Binomial;
+use servet_stats::binomial::{reference, sf_curve, Binomial};
 use servet_stats::cluster::{cluster_by_tolerance, within_tolerance};
 use servet_stats::gradient::{find_peaks, gradient};
 use servet_stats::groups::{groups_from_pairs, DisjointSet};
@@ -33,6 +33,61 @@ proptest! {
         let b = Binomial::new(n, p);
         let total = b.cdf(k) + b.sf(k);
         prop_assert!((total - 1.0).abs() < 1e-9, "cdf+sf = {total}");
+    }
+
+    #[test]
+    fn recurrence_pmf_tracks_log_gamma_pmf(n in 1u64..100_000, pi in 0usize..4) {
+        // Tentpole invariant: the mode-seeded incremental recurrence and
+        // the per-point log-gamma kernel are the same pmf to ≤ 1e-12,
+        // for n up to 1e5 across the Fig. 3 probability spread.
+        let p = [1e-4, 0.01, 0.5, 0.99][pi];
+        let b = Binomial::new(n, p);
+        // The full support would be O(n) log-gamma calls per case; check
+        // a window around the mode (where mass lives) plus both edges.
+        let mode = (b.mean().floor() as u64).min(n);
+        let lo = mode.saturating_sub(64);
+        let hi = (mode + 64).min(n);
+        let range = b.pmf_range(lo, hi);
+        for (i, &term) in range.iter().enumerate() {
+            let k = lo + i as u64;
+            let want = b.pmf(k);
+            prop_assert!(
+                (term - want).abs() <= 1e-12,
+                "pmf(n={}, p={}, k={}) recurrence {} vs log-gamma {}", n, p, k, term, want
+            );
+        }
+        for k in [0u64, n / 2, n] {
+            let got = b.pmf_range(k, k)[0];
+            prop_assert!((got - b.pmf(k)).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn sf_curve_tracks_per_point_sf(
+        np in prop::collection::vec(0u64..20_000, 1..24),
+        pi in 0usize..5,
+        k in 0u64..33,
+    ) {
+        let p = [1e-4, 0.01, 0.1, 0.5, 0.99][pi];
+        let curve = sf_curve(&np, p, k);
+        prop_assert_eq!(curve.len(), np.len());
+        for (i, &n) in np.iter().enumerate() {
+            let want = Binomial::new(n, p).sf(k);
+            prop_assert!(
+                (curve[i] - want).abs() <= 1e-9,
+                "sf_curve(n={}, p={}, k={}) = {} vs sf {}", n, p, k, curve[i], want
+            );
+            prop_assert!((0.0..=1.0).contains(&curve[i]));
+        }
+    }
+
+    #[test]
+    fn fast_sf_matches_reference_kernel(n in 0u64..30_000, p in 0.0f64..=1.0, k in 0u64..64) {
+        // The rewritten tail sum and the retained pre-recurrence kernel
+        // must be interchangeable.
+        let fast = Binomial::new(n, p).sf(k);
+        let slow = reference::sf(n, p, k);
+        prop_assert!((fast - slow).abs() <= 1e-12, "fast {} vs reference {}", fast, slow);
     }
 
     #[test]

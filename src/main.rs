@@ -81,7 +81,7 @@ fn print_help() {
          \x20 servet advise threads --profile FILE [--tolerance T] [--json]\n\
          \x20 servet advise tile --profile FILE [--level L] [--json]\n\
          \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B] [--json]\n\
-         \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N]\n\
+         \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] [--workers N] [--backlog N]\n\
          \x20                                                    run the profile registry daemon\n\
          \x20 servet query put --profile FILE [--name NAME] [--addr A]\n\
          \x20 servet query get --key KEY [--json] [--addr A]\n\
@@ -340,13 +340,23 @@ fn cmd_advise(args: &[String]) -> i32 {
 
 fn cmd_serve(args: &[String]) -> i32 {
     let Some(dir) = flag_value(args, "--dir") else {
-        eprintln!("usage: servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N]");
+        eprintln!(
+            "usage: servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] \
+             [--workers N] [--backlog N]"
+        );
         return 2;
     };
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let read_timeout_ms: u64 = flag_value(args, "--read-timeout-ms")
         .and_then(|v| v.parse().ok())
         .unwrap_or(30_000);
+    let defaults = ServerConfig::default();
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.workers);
+    let backlog: usize = flag_value(args, "--backlog")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.backlog);
     let registry = match Registry::open(dir) {
         Ok(r) => Arc::new(r),
         Err(e) => {
@@ -356,12 +366,18 @@ fn cmd_serve(args: &[String]) -> i32 {
     };
     let config = ServerConfig {
         read_timeout: Duration::from_millis(read_timeout_ms.max(1)),
+        workers: workers.max(1),
+        backlog: backlog.max(1),
+        ..defaults
     };
     match serve(registry, addr, config) {
         Ok(handle) => {
             println!(
-                "servet-registry: serving profiles from {dir} on {}",
-                handle.addr()
+                "servet-registry: serving profiles from {dir} on {} \
+                 ({} workers, backlog {})",
+                handle.addr(),
+                workers.max(1),
+                backlog.max(1)
             );
             handle.join();
             0
@@ -528,6 +544,13 @@ fn cmd_query(args: &[String]) -> i32 {
                             stats.advice_evictions,
                             stats.profile_hits,
                             stats.profile_misses
+                        );
+                        println!(
+                            "accept queue: accepted {}  rejected {}  depth {}  high-water {}",
+                            stats.accept.accepted,
+                            stats.accept.rejected,
+                            stats.accept.queue_depth,
+                            stats.accept.queue_depth_max
                         );
                         if !stats.ops.is_empty() {
                             println!("request latency per op:");

@@ -112,6 +112,7 @@ fn served_stats_reports_per_op_latency_histograms() {
         "127.0.0.1:0",
         ServerConfig {
             read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

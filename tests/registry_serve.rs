@@ -15,6 +15,19 @@ fn measured_tiny_profile() -> MachineProfile {
 }
 
 fn start_server(tag: &str) -> (Arc<Registry>, servet::registry::ServerHandle, SocketAddr) {
+    start_server_with(
+        tag,
+        ServerConfig {
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+}
+
+fn start_server_with(
+    tag: &str,
+    config: ServerConfig,
+) -> (Arc<Registry>, servet::registry::ServerHandle, SocketAddr) {
     let dir = std::env::temp_dir().join(format!(
         "servet-it-{tag}-{}-{:?}",
         std::process::id(),
@@ -22,16 +35,26 @@ fn start_server(tag: &str) -> (Arc<Registry>, servet::registry::ServerHandle, So
     ));
     let _ = std::fs::remove_dir_all(&dir);
     let registry = Arc::new(Registry::open(&dir).unwrap());
-    let server = serve(
-        Arc::clone(&registry),
-        "127.0.0.1:0",
-        ServerConfig {
-            read_timeout: Duration::from_secs(10),
-        },
-    )
-    .unwrap();
+    let server = serve(Arc::clone(&registry), "127.0.0.1:0", config).unwrap();
     let addr = server.addr();
     (registry, server, addr)
+}
+
+/// Count live threads of this process whose name starts with `prefix`
+/// (the kernel truncates names to 15 bytes, so keep prefixes short).
+#[cfg(target_os = "linux")]
+fn threads_with_prefix(prefix: &str) -> usize {
+    let mut count = 0;
+    if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+        for entry in entries.flatten() {
+            if let Ok(name) = std::fs::read_to_string(entry.path().join("comm")) {
+                if name.trim_end().starts_with(prefix) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
 }
 
 /// The acceptance smoke test: a simulated `tiny` profile served over
@@ -205,6 +228,86 @@ fn hammer_mixed_operations_from_many_threads() {
         .iter()
         .any(|e| e.aliases == vec!["shared".to_string()]));
     server.shutdown();
+}
+
+/// The worker-pool acceptance bar: 64 genuinely concurrent connections
+/// (all connected before any issues a request) are every one served
+/// correctly while the server runs exactly `workers + 1` threads, and
+/// the per-op latency digests keep flowing.
+#[test]
+fn hammer_64_concurrent_connections_with_bounded_pool() {
+    const CLIENTS: usize = 64;
+    const WORKERS: usize = 8;
+    let (registry, server, addr) = start_server_with(
+        "pool64",
+        ServerConfig {
+            read_timeout: Duration::from_secs(30),
+            workers: WORKERS,
+            backlog: CLIENTS,
+            thread_prefix: "hammer64".into(),
+        },
+    );
+    let base = measured_tiny_profile();
+    RegistryClient::connect(addr)
+        .unwrap()
+        .put(&base, Some("shared"))
+        .unwrap();
+
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let barrier = Arc::clone(&barrier);
+            let base = &base;
+            s.spawn(move || {
+                let mut client = RegistryClient::connect(addr).unwrap();
+                // Hold until all 64 connections are established so they
+                // are genuinely concurrent, then do real work.
+                barrier.wait();
+                for _ in 0..3 {
+                    let (_, got) = client.get_profile("shared").unwrap();
+                    assert_eq!(&got, base);
+                }
+            });
+        }
+
+        // Sample the server's thread count while the storm is live: the
+        // seed client plus all 64 have been admitted, yet the pool is
+        // exactly workers + acceptor.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while registry.stats().accept.accepted < (CLIENTS + 1) as u64 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "accept stalled: {:?}",
+                registry.stats().accept
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        #[cfg(target_os = "linux")]
+        assert_eq!(
+            threads_with_prefix("hammer64"),
+            WORKERS + 1,
+            "server must not spawn per-connection threads"
+        );
+    });
+
+    let stats = registry.stats();
+    assert!(stats.accept.accepted >= (CLIENTS + 1) as u64);
+    assert_eq!(stats.accept.rejected, 0, "backlog sized to fit: {stats:?}");
+    assert!(stats.accept.queue_depth_max >= 1);
+    let get_op = stats
+        .ops
+        .iter()
+        .find(|o| o.op == "get")
+        .expect("per-op latency digest for get");
+    assert!(
+        get_op.count >= (CLIENTS * 3) as u64,
+        "expected ≥ {} gets, got {}",
+        CLIENTS * 3,
+        get_op.count
+    );
+    server.shutdown();
+    #[cfg(target_os = "linux")]
+    assert_eq!(threads_with_prefix("hammer64"), 0, "pool threads leaked");
 }
 
 /// Stale server sockets must not leak between tests: after shutdown the
