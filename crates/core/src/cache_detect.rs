@@ -379,7 +379,7 @@ pub fn detect_cache_levels(
         rest,
         config.merge_gap,
     );
-    for peak in &rest_peaks {
+    for (peak_no, peak) in rest_peaks.iter().enumerate() {
         let level = (levels.len() + 1) as u8;
         let index = peak.index + l1_index + 1;
         let (start, end) = (peak.start + l1_index + 1, peak.end + l1_index + 1);
@@ -395,11 +395,15 @@ pub fn detect_cache_levels(
             // padded so the min/max normalization sees both plateaus — but
             // never past the L1 transition, whose far cheaper hits would
             // corrupt the window's hit-time estimate. On the right, the
-            // window follows the post-transition plateau toward saturation
+            // window follows the post-transition plateau to saturation
             // (the binomial tail flattens slowly) and stops before the
-            // next level's rise.
+            // next detected level's rise.
+            let next_rise = rest_peaks
+                .get(peak_no + 1)
+                .map(|p| p.start + l1_index + 1)
+                .unwrap_or(gradients.len());
             let lo = start.saturating_sub(1).max(l1_index + 1);
-            let hi = saturated_window_end(&gradients, end, config.gradient_threshold)
+            let hi = saturated_window_end(&gradients, end, config.gradient_threshold, next_rise)
                 .min(out.sizes.len() - 1);
             if let Some(size) = probabilistic_size(
                 &out.sizes[lo..=hi],
@@ -418,30 +422,64 @@ pub fn detect_cache_levels(
     levels
 }
 
-/// Walk right from a transition region's last gradient index along the
-/// plateau: while gradients stay clearly flat (well below the detection
-/// threshold, so the next level's early rise is excluded), up to 8
-/// samples, stopping early after two consecutive truly-flat steps.
-/// Returns the last sample index to include in the window.
-fn saturated_window_end(gradients: &[f64], region_end: usize, threshold: f64) -> usize {
-    let plateau_limit = 1.0 + (threshold - 1.0) * 0.6;
+/// Walk right from a transition region's last gradient index toward
+/// saturation: the sampled binomial tail keeps rising slowly (gradients
+/// drift from just under the detection threshold down to 1.0) long after
+/// the above-threshold region ends, and the Fig. 3 fit needs that tail —
+/// a window cut mid-transition ranks smaller tentative sizes first. The
+/// walk stops at two consecutive truly-flat steps (the plateau proper),
+/// at a gradient back above the threshold, at a clear gradient
+/// *increase* (a decaying tail is non-increasing, so turning upward
+/// means the next level's smeared rise has begun below the detection
+/// threshold — e.g. an L3 whose early slope never clears it), or at
+/// `limit` (the next detected level's above-threshold region),
+/// whichever comes first. Returns the last sample index to include in
+/// the window.
+///
+/// An earlier revision capped the walk at 8 samples below a tighter
+/// plateau bound — correct for sweeps whose linear step is a large
+/// fraction of the cache size, but on densely sampled sweeps it
+/// truncated every window mid-tail and biased the detected sizes low.
+fn saturated_window_end(
+    gradients: &[f64],
+    region_end: usize,
+    threshold: f64,
+    limit: usize,
+) -> usize {
+    // A rise is judged against the lowest gradient the walk has seen and
+    // must persist: sampled-binomial noise throws isolated one-sample
+    // spikes well above the tail's floor on dense sweeps, but they fall
+    // straight back, while a real next-level climb keeps every following
+    // sample up there. Samples still mid-streak when the walk exits
+    // (e.g. a rise running into `limit`) are trimmed off the window.
+    const RISE: f64 = 0.06;
     let mut j = region_end + 1;
+    let mut floor = f64::INFINITY;
     let mut flats = 0;
-    let mut steps = 0;
-    while j < gradients.len() && gradients[j] <= plateau_limit && steps < 8 {
-        if gradients[j] < 1.005 {
-            flats += 1;
-            if flats >= 2 {
-                j += 1;
+    let mut rising = 0;
+    while j < limit && j < gradients.len() && gradients[j] < threshold {
+        let g = gradients[j];
+        if g > floor + RISE {
+            rising += 1;
+            if rising >= 2 {
                 break;
             }
         } else {
-            flats = 0;
+            rising = 0;
+            floor = floor.min(g);
+            if g < 1.005 {
+                flats += 1;
+                if flats >= 2 {
+                    j += 1;
+                    break;
+                }
+            } else {
+                flats = 0;
+            }
         }
         j += 1;
-        steps += 1;
     }
-    j
+    j.saturating_sub(rising)
 }
 
 #[cfg(test)]

@@ -122,6 +122,12 @@ impl CommLayer {
 pub struct CommResult {
     /// Probe message size used for layer discovery, bytes.
     pub probe_size: usize,
+    /// `true` when the probe size is the configured default rather than a
+    /// detected L1 size — the suite fell back because cache detection
+    /// returned no levels. A consumer comparing profiles must not read a
+    /// fallback size as a detection result.
+    #[serde(default)]
+    pub probe_size_fallback: bool,
     /// Latency of every probed pair, for Fig. 10a.
     pub pair_latency: Vec<((CoreId, CoreId), f64)>,
     /// Discovered layers, fastest first.
@@ -212,6 +218,7 @@ pub fn characterize_communication(platform: &mut dyn Platform, config: &CommConf
     }
     CommResult {
         probe_size: config.probe_size,
+        probe_size_fallback: false,
         pair_latency,
         layers,
     }

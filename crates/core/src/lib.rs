@@ -42,6 +42,7 @@ pub mod profile;
 pub mod shared_cache;
 pub mod sim_platform;
 pub mod suite;
+pub mod zoo;
 
 pub use cache_detect::{detect_cache_levels, CacheLevelEstimate, DetectConfig, DetectionMethod};
 pub use comm::{characterize_communication, CommConfig, CommResult};
@@ -53,4 +54,5 @@ pub use platform::{CoreId, Platform};
 pub use profile::{write_atomic, MachineProfile, SCHEMA_VERSION};
 pub use shared_cache::{detect_shared_caches, SharedCacheConfig, SharedCacheResult};
 pub use sim_platform::SimPlatform;
-pub use suite::{run_full_suite, SuiteConfig, SuiteReport};
+pub use suite::{run_full_suite, run_suite, SuiteConfig, SuiteReport};
+pub use zoo::{generate_population, run_zoo, ProfileSink, ZooConfig, ZooMachine, ZooReport};

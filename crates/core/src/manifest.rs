@@ -85,6 +85,36 @@ impl RunManifest {
         }
     }
 
+    /// Build a manifest from a finished per-run scope
+    /// ([`servet_obs::RunScope`]): spans and counters are exactly the
+    /// run's own, no matter how many suites the process runs
+    /// concurrently. This is what [`crate::suite::run_suite`] returns;
+    /// [`Self::capture`] remains for single-run-per-process callers.
+    pub fn from_scope(
+        report: &SuiteReport,
+        config: &SuiteConfig,
+        data: servet_obs::ScopeData,
+    ) -> Self {
+        Self {
+            manifest_version: MANIFEST_VERSION,
+            machine: report.profile.machine.clone(),
+            profile_schema_version: report.profile.schema_version,
+            timings: report.timings,
+            config: config.clone(),
+            spans: data
+                .spans
+                .into_iter()
+                .map(|s| SpanEntry {
+                    name: s.name,
+                    depth: s.depth,
+                    start_ns: s.start_ns,
+                    duration_ns: s.duration_ns,
+                })
+                .collect(),
+            counters: data.counters,
+        }
+    }
+
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("manifest serializes")

@@ -82,8 +82,16 @@ impl SuiteConfig {
 /// the paper's Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SuiteTimings {
-    /// Cache Size Estimate row.
+    /// Cache Size Estimate row. Exactly the mcalibrator sweep plus level
+    /// detection — the paper's benchmark, nothing else.
     pub cache_size_s: f64,
+    /// Time in the optional micro-probe extensions (line size, L1
+    /// associativity). Zero unless [`SuiteConfig::run_micro`] is set.
+    /// Kept out of [`cache_size_s`](Self::cache_size_s) so that row stays
+    /// comparable with Table I; older reports without this field read as
+    /// zero.
+    #[serde(default)]
+    pub micro_probes_s: f64,
     /// Determination of Shared Caches row.
     pub shared_caches_s: f64,
     /// Memory Access Overhead row.
@@ -93,9 +101,13 @@ pub struct SuiteTimings {
 }
 
 impl SuiteTimings {
-    /// Total seconds.
+    /// Total seconds across every stage, micro probes included.
     pub fn total_s(&self) -> f64 {
-        self.cache_size_s + self.shared_caches_s + self.memory_overhead_s + self.communication_s
+        self.cache_size_s
+            + self.micro_probes_s
+            + self.shared_caches_s
+            + self.memory_overhead_s
+            + self.communication_s
     }
 }
 
@@ -120,6 +132,11 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     let stage_span = servet_obs::span("suite.cache_size");
     let sweep = mcalibrator(platform, 0, &config.mcalibrator);
     let cache_levels = detect_cache_levels(&sweep, platform.page_size(), &config.detect);
+    drop(stage_span);
+    let t1 = platform.elapsed_seconds();
+
+    // Stage 1b: optional micro-probe extensions, timed apart from the
+    // cache-size stage so `cache_size_s` stays faithful to Table I.
     let micro = if config.run_micro {
         let _micro_span = servet_obs::span("suite.micro_probes");
         cache_levels
@@ -128,8 +145,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     } else {
         None
     };
-    drop(stage_span);
-    let t1 = platform.elapsed_seconds();
+    let t1m = platform.elapsed_seconds();
 
     // Stage 2: shared caches (Fig. 5).
     let stage_span = servet_obs::span("suite.shared_caches");
@@ -141,6 +157,9 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     };
     drop(stage_span);
     let t2 = platform.elapsed_seconds();
+
+    let micro_probes_s = t1m - t1;
+    let shared_caches_s = t2 - t1m;
 
     // Stage 3: memory access overhead (Fig. 6).
     let stage_span = servet_obs::span("suite.memory_overhead");
@@ -159,10 +178,22 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
         None
     } else {
         let mut comm_cfg = config.comm.clone();
-        if let Some(l1) = cache_levels.first() {
-            comm_cfg.probe_size = l1.size;
-        }
-        Some(characterize_communication(platform, &comm_cfg))
+        let fell_back = match cache_levels.first() {
+            Some(l1) => {
+                comm_cfg.probe_size = l1.size;
+                false
+            }
+            // No detected L1 to probe with: keep the configured default,
+            // but say so — a profile must distinguish "detected 32 KB"
+            // from "fell back to 32 KB".
+            None => {
+                servet_obs::counter("suite.comm_probe_size_fallback").incr();
+                true
+            }
+        };
+        let mut result = characterize_communication(platform, &comm_cfg);
+        result.probe_size_fallback = fell_back;
+        Some(result)
     };
     drop(stage_span);
     let t4 = platform.elapsed_seconds();
@@ -183,11 +214,32 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
         },
         timings: SuiteTimings {
             cache_size_s: t1 - t0,
-            shared_caches_s: t2 - t1,
+            micro_probes_s,
+            shared_caches_s,
             memory_overhead_s: t3 - t2,
             communication_s: t4 - t3,
         },
     }
+}
+
+/// Run the complete suite as a *pure* function of the platform and
+/// config: every span and counter the run produces is collected into a
+/// private per-run scope and returned inside an exact [`RunManifest`],
+/// untouched by whatever other runs execute concurrently in the process.
+///
+/// This is the entry point for batched drivers (the machine zoo) and for
+/// anything that wants a manifest that is guaranteed to describe *this*
+/// run only. [`run_full_suite`] remains for callers that manage
+/// observability themselves. The scope still merges into the global view
+/// on completion, so `servet --trace` output is unchanged.
+pub fn run_suite(
+    platform: &mut dyn Platform,
+    config: &SuiteConfig,
+) -> (SuiteReport, crate::manifest::RunManifest) {
+    let scope = servet_obs::RunScope::begin();
+    let report = run_full_suite(platform, config);
+    let manifest = crate::manifest::RunManifest::from_scope(&report, config, scope.finish());
+    (report, manifest)
 }
 
 #[cfg(test)]
@@ -212,17 +264,104 @@ mod tests {
         assert_eq!(profile.communication.as_ref().unwrap().num_layers(), 4);
         // Probe size followed the detected L1.
         assert_eq!(profile.communication.as_ref().unwrap().probe_size, 8 * KB);
-        // Timings all positive, total consistent.
+        // Timings all positive, total consistent; no micro probes ran.
         let t = &report.timings;
         assert!(t.cache_size_s > 0.0);
+        assert_eq!(t.micro_probes_s, 0.0);
         assert!(t.shared_caches_s > 0.0);
         assert!(t.memory_overhead_s > 0.0);
         assert!(t.communication_s > 0.0);
         assert!(
             (t.total_s()
-                - (t.cache_size_s + t.shared_caches_s + t.memory_overhead_s + t.communication_s))
+                - (t.cache_size_s
+                    + t.micro_probes_s
+                    + t.shared_caches_s
+                    + t.memory_overhead_s
+                    + t.communication_s))
                 .abs()
                 < 1e-12
+        );
+    }
+
+    #[test]
+    fn micro_probes_are_timed_apart_from_the_cache_size_stage() {
+        let cfg = SuiteConfig {
+            skip_comm: true,
+            ..SuiteConfig::small(128 * KB)
+        };
+        let without = run_full_suite(&mut SimPlatform::tiny().with_noise(0.0), &cfg);
+        let with_micro = run_full_suite(
+            &mut SimPlatform::tiny().with_noise(0.0),
+            &SuiteConfig {
+                run_micro: true,
+                ..cfg
+            },
+        );
+        assert_eq!(without.timings.micro_probes_s, 0.0);
+        assert!(with_micro.timings.micro_probes_s > 0.0);
+        // Table I's cache-size row must not absorb the micro-probe time:
+        // the platform clock is virtual and noise-free, so the stage cost
+        // is identical with and without the probes.
+        assert!(
+            (with_micro.timings.cache_size_s - without.timings.cache_size_s).abs()
+                < 1e-9 * without.timings.cache_size_s.max(1.0),
+            "cache_size_s {} vs {}",
+            with_micro.timings.cache_size_s,
+            without.timings.cache_size_s
+        );
+    }
+
+    #[test]
+    fn comm_probe_size_fallback_is_recorded() {
+        // A sweep capped below the L1 size detects no cache levels, so the
+        // comm stage cannot use a detected L1 as its probe size and must
+        // fall back to the configured default — and say so.
+        let mut p = SimPlatform::tiny_cluster().with_noise(0.0);
+        let cfg = SuiteConfig {
+            skip_shared: true,
+            skip_memory: true,
+            ..SuiteConfig::small(2 * KB)
+        };
+        let report = run_full_suite(&mut p, &cfg);
+        assert!(
+            report.profile.cache_levels.is_empty(),
+            "expected no detected levels, got {:?}",
+            report.profile.cache_levels
+        );
+        let comm = report.profile.communication.as_ref().unwrap();
+        assert!(comm.probe_size_fallback);
+        assert_eq!(comm.probe_size, cfg.comm.probe_size);
+    }
+
+    #[test]
+    fn detected_probe_size_is_not_flagged_as_fallback() {
+        let mut p = SimPlatform::tiny_cluster().with_noise(0.003);
+        let report = run_full_suite(&mut p, &SuiteConfig::small(256 * KB));
+        let comm = report.profile.communication.as_ref().unwrap();
+        assert!(!comm.probe_size_fallback);
+        assert_eq!(comm.probe_size, 8 * KB);
+    }
+
+    #[test]
+    fn run_suite_returns_an_exact_manifest() {
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        let cfg = SuiteConfig {
+            skip_comm: true,
+            ..SuiteConfig::small(128 * KB)
+        };
+        let (report, manifest) = run_suite(&mut p, &cfg);
+        assert_eq!(manifest.machine, report.profile.machine);
+        // Exactly this run's spans: one suite root, regardless of what
+        // other tests in the process record concurrently.
+        assert_eq!(
+            manifest.spans.iter().filter(|s| s.name == "suite").count(),
+            1
+        );
+        assert!(manifest.spans.iter().any(|s| s.name == "suite.cache_size"));
+        assert!(
+            manifest.counters.get("mcalibrator.samples").copied() >= Some(1),
+            "{:?}",
+            manifest.counters
         );
     }
 

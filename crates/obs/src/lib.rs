@@ -46,12 +46,14 @@ pub mod counter;
 pub mod export;
 pub mod histogram;
 pub mod metrics;
+pub mod scope;
 pub mod span;
 
 pub use counter::Counter;
 pub use export::{export_json, export_json_from, json_escape, summary, summary_from};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use metrics::Metrics;
+pub use scope::{AttachGuard, RunScope, ScopeData, ScopeHandle};
 pub use span::{
     dropped_spans, format_ns, render_span_tree, set_spans_enabled, span, spans_enabled,
     spans_snapshot, take_spans, SpanGuard, SpanRecord, MAX_SPANS,
@@ -59,9 +61,15 @@ pub use span::{
 
 use std::sync::Arc;
 
-/// The counter named `name` in the global registry (created on first use).
+/// The counter named `name`: the active [`RunScope`]'s private counter
+/// when one is installed on this thread, the global registry's otherwise
+/// (created on first use either way). Scoped totals merge into the global
+/// registry when the scope finishes.
 pub fn counter(name: &str) -> Arc<Counter> {
-    metrics::global().counter(name)
+    match scope::current() {
+        Some(scope) => scope.counter(name),
+        None => metrics::global().counter(name),
+    }
 }
 
 /// The histogram named `name` in the global registry (created on first

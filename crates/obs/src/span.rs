@@ -86,7 +86,22 @@ impl Drop for SpanGuard {
             start_ns: saturating_ns(self.start.saturating_duration_since(epoch())),
             duration_ns: saturating_ns(duration),
         };
-        let mut log = log().lock().unwrap_or_else(|e| e.into_inner());
+        // An active per-run scope on this thread owns the record; it
+        // reaches the global log when the scope merges on finish.
+        if let Some(scope) = crate::scope::current() {
+            scope.record_span(record);
+            return;
+        }
+        append_to_global(std::iter::once(record));
+    }
+}
+
+/// Append records to the bounded global log, counting overflow into
+/// [`dropped_spans`]. Used by the direct recording path and by
+/// [`crate::RunScope`] when a finished scope merges its spans back.
+pub(crate) fn append_to_global(records: impl IntoIterator<Item = SpanRecord>) {
+    let mut log = log().lock().unwrap_or_else(|e| e.into_inner());
+    for record in records {
         if log.len() >= MAX_SPANS {
             DROPPED.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -159,7 +174,7 @@ pub fn dropped_spans() -> u64 {
 /// ```
 pub fn render_span_tree(spans: &[SpanRecord]) -> String {
     let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
-    ordered.sort_by(|a, b| (a.start_ns, a.depth).cmp(&(b.start_ns, b.depth)));
+    ordered.sort_by_key(|s| (s.start_ns, s.depth));
     let mut out = String::new();
     for s in ordered {
         out.push_str(&format!(

@@ -1,10 +1,20 @@
 //! A small blocking client for the registry protocol — the transport
-//! behind `servet query` and the serving tests.
+//! behind `servet query`, the zoo's profile streaming, and the serving
+//! tests.
+//!
+//! Two clients live here. [`RegistryClient`] is one connection, one
+//! request at a time, and surfaces every failure to the caller.
+//! [`RetryingRegistryClient`] wraps it for unattended callers (the zoo
+//! driver streaming hundreds of profiles): it reconnects and retries
+//! with exponential backoff when the server is overloaded — the typed
+//! `busy:` rejection of [`crate::protocol::busy_response`] — or the
+//! connection drops mid-flight, while still failing fast on errors a
+//! retry cannot cure (a malformed request, an unknown profile key).
 
 use crate::advice::{AdviceOutcome, AdviceQuery};
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{is_busy_error, read_message, write_message, Request, Response};
 use std::io::{self, BufReader};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use servet_core::profile::MachineProfile;
@@ -54,7 +64,7 @@ impl RegistryClient {
         })?;
         match resp {
             Response::Stored { digest } => Ok(digest),
-            Response::Error { error } => Err(io::Error::other(error)),
+            Response::Error { error } => Err(protocol_error(error)),
             other => Err(unexpected(&other)),
         }
     }
@@ -70,7 +80,7 @@ impl RegistryClient {
     pub fn get_profile(&mut self, key: &str) -> io::Result<(String, MachineProfile)> {
         match self.get(key)? {
             Response::Profile { digest, profile } => Ok((digest, *profile)),
-            Response::Error { error } => Err(io::Error::other(error)),
+            Response::Error { error } => Err(protocol_error(error)),
             other => Err(unexpected(&other)),
         }
     }
@@ -79,7 +89,7 @@ impl RegistryClient {
     pub fn list(&mut self) -> io::Result<Vec<crate::store::StoreEntry>> {
         match self.call(&Request::List)? {
             Response::Listing { entries } => Ok(entries),
-            Response::Error { error } => Err(io::Error::other(error)),
+            Response::Error { error } => Err(protocol_error(error)),
             other => Err(unexpected(&other)),
         }
     }
@@ -100,7 +110,7 @@ impl RegistryClient {
                 cached,
                 outcome,
             } => Ok((digest, cached, outcome)),
-            Response::Error { error } => Err(io::Error::other(error)),
+            Response::Error { error } => Err(protocol_error(error)),
             other => Err(unexpected(&other)),
         }
     }
@@ -109,7 +119,7 @@ impl RegistryClient {
     pub fn stats(&mut self) -> io::Result<crate::protocol::ServerStats> {
         match self.call(&Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
-            Response::Error { error } => Err(io::Error::other(error)),
+            Response::Error { error } => Err(protocol_error(error)),
             other => Err(unexpected(&other)),
         }
     }
@@ -120,4 +130,262 @@ fn unexpected(resp: &Response) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("unexpected response {resp:?}"),
     )
+}
+
+/// Map a protocol-level `Response::Error` string to an [`io::Error`]:
+/// the server's `busy:` rejection becomes [`io::ErrorKind::WouldBlock`]
+/// (recognized by [`is_server_busy`]); everything else is an opaque
+/// application error.
+fn protocol_error(error: String) -> io::Error {
+    if is_busy_error(&error) {
+        io::Error::new(io::ErrorKind::WouldBlock, error)
+    } else {
+        io::Error::other(error)
+    }
+}
+
+/// Whether `e` is the server's "accept queue full" rejection — the one
+/// failure that explicitly invites a retry with backoff.
+pub fn is_server_busy(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::WouldBlock && is_busy_error(&e.to_string())
+}
+
+/// Whether a fresh connection and another attempt could plausibly cure
+/// `e`: the typed busy rejection, or transport failures a mid-flight
+/// server close produces. Application errors (bad request, unknown key)
+/// are not retryable — repeating them would repeat the answer.
+pub fn is_retryable(e: &io::Error) -> bool {
+    is_server_busy(e)
+        || matches!(
+            e.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionRefused
+        )
+}
+
+/// Backoff schedule for [`RetryingRegistryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1 is always made.
+    pub attempts: usize,
+    /// Sleep before the second attempt.
+    pub initial_backoff: Duration,
+    /// Backoff growth factor per further attempt.
+    pub multiplier: f64,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn next_backoff(&self, current: Duration) -> Duration {
+        current
+            .mul_f64(self.multiplier.max(1.0))
+            .min(self.max_backoff)
+    }
+}
+
+/// A reconnecting, retrying registry client for unattended bulk callers
+/// (`servet zoo` streaming a population of profiles).
+///
+/// Each operation runs against a lazily-(re)established connection; on a
+/// [retryable](is_retryable) failure the connection is discarded and the
+/// operation retried after an exponential backoff, up to
+/// [`RetryPolicy::attempts`]. The last error is returned when the budget
+/// runs out. Retries are counted on the `registry.client.retries`
+/// counter.
+pub struct RetryingRegistryClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<RegistryClient>,
+}
+
+impl RetryingRegistryClient {
+    /// A retrying client for the server at `addr` (not contacted until
+    /// the first operation).
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        Self {
+            addr,
+            policy,
+            conn: None,
+        }
+    }
+
+    /// Resolve `addr` and build a client with the [`RetryPolicy`]
+    /// defaults.
+    pub fn connect_lazily(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(Self::new(addr, RetryPolicy::default()))
+    }
+
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut RegistryClient) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut backoff = self.policy.initial_backoff;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = self.policy.next_backoff(backoff);
+                servet_obs::counter("registry.client.retries").incr();
+            }
+            let conn = match self.conn.as_mut() {
+                Some(conn) => conn,
+                None => match RegistryClient::connect(self.addr) {
+                    Ok(conn) => self.conn.insert(conn),
+                    Err(e) if is_retryable(&e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
+            match op(conn) {
+                Ok(value) => return Ok(value),
+                Err(e) if is_retryable(&e) => {
+                    // The server hung up (or told us it is saturated):
+                    // this connection is dead either way.
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("retry budget exhausted")))
+    }
+
+    /// [`RegistryClient::put`], with reconnect-and-retry.
+    pub fn put(&mut self, profile: &MachineProfile, name: Option<&str>) -> io::Result<String> {
+        self.with_retry(|c| c.put(profile, name))
+    }
+
+    /// [`RegistryClient::get_profile`], with reconnect-and-retry.
+    pub fn get_profile(&mut self, key: &str) -> io::Result<(String, MachineProfile)> {
+        self.with_retry(|c| c.get_profile(key))
+    }
+
+    /// [`RegistryClient::list`], with reconnect-and-retry.
+    pub fn list(&mut self) -> io::Result<Vec<crate::store::StoreEntry>> {
+        self.with_retry(|c| c.list())
+    }
+
+    /// [`RegistryClient::advise`], with reconnect-and-retry.
+    pub fn advise(
+        &mut self,
+        key: &str,
+        query: &AdviceQuery,
+    ) -> io::Result<(String, bool, AdviceOutcome)> {
+        self.with_retry(|c| c.advise(key, query))
+    }
+
+    /// [`RegistryClient::stats`], with reconnect-and-retry.
+    pub fn stats(&mut self) -> io::Result<crate::protocol::ServerStats> {
+        self.with_retry(|c| c.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::busy_response;
+    use std::io::BufRead as _;
+    use std::net::TcpListener;
+
+    /// A one-shot fake server: accept one connection, read one request
+    /// line, answer `response`, close. Reading the request first means
+    /// the close is a clean FIN (no unread data → no RST racing the
+    /// response to the client).
+    fn one_shot_server(response: Response) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut stream = stream;
+            write_message(&mut stream, &response).unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn busy_rejection_maps_to_the_typed_busy_error() {
+        let (addr, server) = one_shot_server(busy_response());
+        let mut client = RegistryClient::connect(addr).unwrap();
+        let err = client.list().unwrap_err();
+        assert!(is_server_busy(&err), "wanted busy, got {err:?}");
+        assert!(is_retryable(&err));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn application_errors_are_not_retryable() {
+        let (addr, server) = one_shot_server(Response::Error {
+            error: "no profile named tiny".into(),
+        });
+        let mut client = RegistryClient::connect(addr).unwrap();
+        let err = client.list().unwrap_err();
+        assert!(!is_server_busy(&err));
+        assert!(!is_retryable(&err), "must not retry {err:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retrying_client_gives_up_after_its_budget() {
+        // A listener that is never accepted from: every connection gets
+        // queued by the kernel, and the requests time out... too slow.
+        // Instead: refuse outright by binding and dropping.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let mut client = RetryingRegistryClient::new(
+            addr,
+            RetryPolicy {
+                attempts: 3,
+                initial_backoff: Duration::from_millis(1),
+                multiplier: 2.0,
+                max_backoff: Duration::from_millis(4),
+            },
+        );
+        let err = client.list().unwrap_err();
+        assert!(
+            is_retryable(&err),
+            "last error should be the refusal: {err:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            multiplier: 3.0,
+            max_backoff: Duration::from_millis(50),
+        };
+        let b1 = policy.next_backoff(Duration::from_millis(10));
+        assert_eq!(b1, Duration::from_millis(30));
+        assert_eq!(policy.next_backoff(b1), Duration::from_millis(50));
+        assert_eq!(
+            policy.next_backoff(Duration::from_millis(50)),
+            Duration::from_millis(50)
+        );
+    }
 }

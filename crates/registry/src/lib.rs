@@ -20,8 +20,10 @@
 //!   `DESIGN.md`).
 //! * [`server`] / [`client`] — a TCP server running a fixed-size worker
 //!   pool over a bounded accept queue (per-connection read timeouts,
-//!   reject-on-overload, graceful shutdown), and the blocking client
-//!   used by `servet query`.
+//!   a typed `busy:` rejection on overload, graceful shutdown), the
+//!   blocking client used by `servet query`, and the reconnecting
+//!   [`client::RetryingRegistryClient`] that `servet zoo` streams
+//!   profiles through.
 //!
 //! Request handling is instrumented with per-operation latency histograms
 //! (`servet-obs`), surfaced through the `stats` protocol command — see
@@ -52,8 +54,13 @@ pub mod store;
 
 pub use advice::{compute_advice, AdviceEngine, AdviceOutcome, AdviceQuery};
 pub use cache::{CacheStats, ShardedCache};
-pub use client::RegistryClient;
-pub use protocol::{AcceptStats, OpLatency, Request, Response, ServerStats};
+pub use client::{
+    is_retryable, is_server_busy, RegistryClient, RetryPolicy, RetryingRegistryClient,
+};
+pub use protocol::{
+    busy_response, is_busy_error, AcceptStats, OpLatency, Request, Response, ServerStats,
+    BUSY_PREFIX,
+};
 pub use registry::{AcceptCounters, Registry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};
@@ -61,7 +68,7 @@ pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};
 /// The common imports for serving and querying.
 pub mod prelude {
     pub use crate::advice::{compute_advice, AdviceOutcome, AdviceQuery};
-    pub use crate::client::RegistryClient;
+    pub use crate::client::{RegistryClient, RetryPolicy, RetryingRegistryClient};
     pub use crate::protocol::{Request, Response};
     pub use crate::registry::Registry;
     pub use crate::server::{serve, ServerConfig};

@@ -15,6 +15,25 @@ use serde::{Deserialize, Serialize};
 use servet_core::profile::MachineProfile;
 use std::io::{self, BufRead, Write};
 
+/// Prefix of the [`Response::Error`] diagnostic written when the server
+/// rejects a connection because its accept queue is full. Clients match
+/// on this prefix (via [`is_busy_error`]) to tell "server overloaded,
+/// retry with backoff" apart from a request the server actually refused.
+pub const BUSY_PREFIX: &str = "busy:";
+
+/// The one-line rejection written (best effort) before the server closes
+/// a connection it cannot queue.
+pub fn busy_response() -> Response {
+    Response::Error {
+        error: format!("{BUSY_PREFIX} accept queue full, retry with backoff"),
+    }
+}
+
+/// Whether a protocol-level error string is the server-busy rejection.
+pub fn is_busy_error(error: &str) -> bool {
+    error.starts_with(BUSY_PREFIX)
+}
+
 /// A client request, one JSON object per line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "cmd", rename_all = "snake_case")]
@@ -349,6 +368,20 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn busy_rejection_is_recognizable_on_the_wire() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &busy_response()).unwrap();
+        let mut reader = io::BufReader::new(&buf[..]);
+        match read_message::<Response>(&mut reader).unwrap().unwrap() {
+            Response::Error { error } => assert!(is_busy_error(&error), "{error}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // An ordinary protocol error must NOT look busy, or clients would
+        // retry requests the server deliberately refused.
+        assert!(!is_busy_error("no profile named tiny"));
     }
 
     #[test]

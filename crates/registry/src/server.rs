@@ -5,9 +5,12 @@
 //! The acceptor thread owns the listener and hands each accepted socket
 //! to one of [`ServerConfig::workers`] long-lived worker threads through
 //! a bounded channel of [`ServerConfig::backlog`] slots. When every
-//! worker is busy and the queue is full, new connections are closed
-//! immediately instead of spawning unbounded threads — the server never
-//! runs more than `workers + 1` threads regardless of client count.
+//! worker is busy and the queue is full, new connections receive a
+//! one-line `busy:` rejection ([`crate::protocol::busy_response`]) and
+//! are closed instead of spawning unbounded threads — the server never
+//! runs more than `workers + 1` threads regardless of client count, and
+//! a turned-away client can tell "overloaded, retry" apart from a
+//! crashed server.
 //! Queue depth, its high-water mark, and the rejected-connection count
 //! are recorded on [`Registry::accept_counters`] and exported through
 //! the `stats` operation.
@@ -19,7 +22,7 @@
 //! returning — so tests (and `servet serve` under a signal) always exit
 //! cleanly.
 
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{busy_response, read_message, write_message, Request, Response};
 use crate::registry::Registry;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -48,7 +51,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Accepted connections that may wait for a free worker. When all
     /// workers are busy and this many connections are already queued,
-    /// further arrivals are closed immediately and counted as rejected.
+    /// further arrivals are sent a one-line `busy:` rejection
+    /// ([`crate::protocol::busy_response`]), closed, and counted as
+    /// rejected. `0` means rendezvous: a connection is admitted only if
+    /// a worker is blocked waiting for one — useful in tests that need
+    /// rejection to be deterministic.
     pub backlog: usize,
     /// Prefix for server thread names (`<prefix>-accept`,
     /// `<prefix>-worker-N`), useful for telling pools apart in
@@ -137,7 +144,7 @@ pub fn serve(
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns: Arc<ConnMap> = Arc::new(Mutex::new(HashMap::new()));
 
-    let (tx, rx) = mpsc::sync_channel::<(u64, TcpStream)>(config.backlog.max(1));
+    let (tx, rx) = mpsc::sync_channel::<(u64, TcpStream)>(config.backlog);
     let rx = Arc::new(Mutex::new(rx));
 
     let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
@@ -198,9 +205,16 @@ pub fn serve(
                     counters.enqueued();
                     match tx.try_send((id, stream)) {
                         Ok(()) => counters.committed(),
-                        Err(mpsc::TrySendError::Full((id, stream))) => {
+                        Err(mpsc::TrySendError::Full((id, mut stream))) => {
                             counters.rejected();
                             servet_obs::counter("registry.server.rejected").incr();
+                            // Tell the client *why* before hanging up, so it
+                            // sees a distinct "server busy" rejection rather
+                            // than an opaque EOF. Best effort under a short
+                            // write timeout — a rejection path must never
+                            // stall the acceptor behind a slow client.
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                            let _ = write_message(&mut stream, &busy_response());
                             let _ = stream.shutdown(Shutdown::Both);
                             if let Ok(mut conns) = conns.lock() {
                                 conns.remove(&id);
@@ -504,12 +518,18 @@ mod tests {
         wait_until("second connection queued", || {
             counters.snapshot().accepted == 2
         });
-        // ...and the third is turned away with an immediate close.
+        // ...and the third is turned away with a busy line, then a close.
         let turned_away = TcpStream::connect(server.addr()).unwrap();
         wait_until("third connection rejected", || {
             counters.snapshot().rejected == 1
         });
         let mut reader = BufReader::new(turned_away);
+        match read_message::<Response>(&mut reader) {
+            Ok(Some(Response::Error { error })) => {
+                assert!(crate::protocol::is_busy_error(&error), "{error}");
+            }
+            got => panic!("expected busy rejection, got {got:?}"),
+        }
         let got: io::Result<Option<Response>> = read_message(&mut reader);
         assert!(matches!(got, Ok(None)), "expected EOF, got {got:?}");
 
@@ -530,6 +550,70 @@ mod tests {
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.rejected, 1);
         assert!(snap.queue_depth_max >= 1);
+        server.shutdown();
+    }
+
+    /// The client-facing half of the busy protocol: a put against a
+    /// saturated 1-worker/0-backlog server maps to the distinct
+    /// "server busy" error, and the retrying client rides out the
+    /// rejection with backoff once the worker frees up.
+    #[test]
+    fn rejected_client_retries_and_succeeds() {
+        use crate::client::{is_retryable, RetryPolicy, RetryingRegistryClient};
+
+        let registry = temp_registry("retry");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                // Rendezvous queue: with the one worker occupied, every
+                // further arrival is deterministically rejected.
+                backlog: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let counters = registry.accept_counters();
+        let profile = measured_profile();
+
+        // Occupy the only worker.
+        let busy = TcpStream::connect(server.addr()).unwrap();
+        wait_until("first connection in service", || {
+            counters.snapshot().accepted == 1
+        });
+
+        // A plain client is turned away. Depending on how the server's
+        // close races the put's write it sees the typed busy error or a
+        // reset/EOF — every one of them retryable, none of them the
+        // opaque application error the old EOF-only close produced.
+        let mut plain = RegistryClient::connect(server.addr()).unwrap();
+        plain.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        let err = plain.put(&profile, Some("tiny")).unwrap_err();
+        assert!(is_retryable(&err), "wanted retryable, got {err:?}");
+        wait_until("rejection counted", || counters.snapshot().rejected >= 1);
+
+        // Free the worker shortly; the retrying client's backoff must
+        // carry it past the rejections to a successful put.
+        let freer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            drop(busy);
+        });
+        let mut retrying = RetryingRegistryClient::new(
+            server.addr(),
+            RetryPolicy {
+                attempts: 40,
+                initial_backoff: Duration::from_millis(5),
+                multiplier: 1.5,
+                max_backoff: Duration::from_millis(100),
+            },
+        );
+        let digest = retrying.put(&profile, Some("tiny")).unwrap();
+        let (got_digest, got) = retrying.get_profile("tiny").unwrap();
+        assert_eq!(got_digest, digest);
+        assert_eq!(got, profile);
+
+        freer.join().unwrap();
         server.shutdown();
     }
 

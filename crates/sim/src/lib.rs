@@ -28,6 +28,7 @@
 pub mod cache;
 pub mod machine;
 pub mod membw;
+pub mod perturb;
 pub mod prefetch;
 pub mod presets;
 pub mod spec;
@@ -36,6 +37,7 @@ pub mod vm;
 pub use cache::SetAssocCache;
 pub use machine::{Machine, SimArray};
 pub use membw::{maxmin_fair, MemorySystem};
+pub use perturb::{perturb, PerturbConfig};
 pub use prefetch::StridePrefetcher;
 pub use spec::{CacheLevelSpec, CoreId, Indexing, MachineSpec, MemResource, MemorySpec};
 pub use vm::{AddressSpace, PageAllocPolicy};

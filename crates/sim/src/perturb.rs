@@ -1,0 +1,235 @@
+//! Seeded perturbation of machine specifications — the generator behind
+//! the machine zoo.
+//!
+//! Gréhant et al.'s cache-aware-scheduling results (see PAPERS.md)
+//! motivate validating detection over *heterogeneous* machine mixes, not
+//! just the paper's four hand-built presets. [`perturb`] derives a new
+//! valid [`MachineSpec`] from a base preset by randomly — but
+//! deterministically, from a seed — varying the knobs that stress the
+//! Servet detection algorithms: cache capacities and associativities,
+//! sharing topology, bus capacity, memory latency, and clock rate.
+//!
+//! Every perturbation preserves [`MachineSpec::validate`] invariants by
+//! construction: sizes move in power-of-two steps (set counts stay powers
+//! of two), outer levels never shrink below twice the level above them
+//! (so distinct levels stay distinguishable), and any level made shared
+//! switches to physical indexing.
+
+use crate::spec::{Indexing, MachineSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Which knobs [`perturb`] may turn, and how far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbConfig {
+    /// Allow halving/doubling cache sizes (one power-of-two step per
+    /// level).
+    pub vary_sizes: bool,
+    /// Allow halving/doubling associativities.
+    pub vary_associativity: bool,
+    /// Allow re-grouping the sharing topology of non-L1 levels.
+    pub vary_sharing: bool,
+    /// Multiplicative range applied to every memory resource capacity.
+    pub bus_scale: (f64, f64),
+    /// Multiplicative range applied to the memory latency.
+    pub latency_scale: (f64, f64),
+    /// Multiplicative range applied to the core clock.
+    pub clock_scale: (f64, f64),
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        Self {
+            vary_sizes: true,
+            vary_associativity: true,
+            vary_sharing: true,
+            bus_scale: (0.7, 1.4),
+            latency_scale: (0.8, 1.3),
+            clock_scale: (0.8, 1.25),
+        }
+    }
+}
+
+/// A deterministic perturbation of `base`: the same `(base, seed,
+/// config)` always yields the same spec. The result re-validates; a
+/// violation is a bug in this module, not in the caller.
+pub fn perturb(base: &MachineSpec, seed: u64, config: &PerturbConfig) -> MachineSpec {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut spec = base.clone();
+    spec.name = format!("{}-z{seed:016x}", base.name);
+
+    if config.clock_scale.0 < config.clock_scale.1 {
+        spec.clock_ghz *= rng.gen_range(config.clock_scale.0..config.clock_scale.1);
+    }
+
+    let mut prev_size = 0usize;
+    for cache in &mut spec.caches {
+        if config.vary_sizes {
+            // One power-of-two step in either direction, biased towards
+            // staying put; never shrink to fewer than two sets and never
+            // within a factor of two of the level above.
+            let step = [1usize, 2, 1, 1][rng.gen_range(0..4usize)];
+            let grow = rng.gen_bool(0.5);
+            if step == 2 {
+                if grow {
+                    cache.size *= 2;
+                } else if cache.num_sets() >= 4 && cache.size / 2 >= prev_size * 2 {
+                    cache.size /= 2;
+                }
+            }
+        }
+        if config.vary_associativity {
+            let step = [1usize, 2, 1][rng.gen_range(0..3usize)];
+            let grow = rng.gen_bool(0.5);
+            if step == 2 {
+                if grow && cache.num_sets() >= 4 {
+                    cache.associativity *= 2;
+                } else if !grow && cache.associativity >= 2 {
+                    cache.associativity /= 2;
+                }
+            }
+        }
+        // Keep the hierarchy strictly widening so detected transitions
+        // stay separable. Doubling the level's own size preserves its
+        // line/associativity divisibility and power-of-two set count.
+        while prev_size > 0 && cache.size < prev_size * 2 {
+            cache.size *= 2;
+        }
+        prev_size = cache.size;
+
+        if config.vary_sharing && cache.level > 1 {
+            let cores = spec.num_cores;
+            let choices: Vec<usize> = [1usize, 2, 4]
+                .into_iter()
+                .filter(|&k| k <= cores && cores.is_multiple_of(k))
+                .collect();
+            let k = choices[rng.gen_range(0..choices.len())];
+            let rotation = rng.gen_range(0..cores);
+            cache.sharing = rotated_groups(cores, k, rotation);
+            if k > 1 {
+                // A shared level must be physically indexed.
+                cache.indexing = Indexing::Physical;
+            }
+        }
+    }
+
+    for resource in &mut spec.memory.resources {
+        resource.capacity_gbs *= rng.gen_range(config.bus_scale.0..config.bus_scale.1);
+    }
+    spec.memory.latency_cycles *= rng.gen_range(config.latency_scale.0..config.latency_scale.1);
+
+    debug_assert!(
+        spec.validate().is_ok(),
+        "perturbation broke spec invariants: {:?}",
+        spec.validate()
+    );
+    spec
+}
+
+/// Partition `0..cores` into groups of `k`, rotating the core ids by
+/// `rotation` first so group membership varies between seeds while still
+/// covering every core exactly once.
+fn rotated_groups(cores: usize, k: usize, rotation: usize) -> Vec<Vec<usize>> {
+    let mut ids: Vec<usize> = (0..cores).collect();
+    ids.rotate_left(rotation % cores);
+    ids.chunks(k)
+        .map(|chunk| {
+            let mut group = chunk.to_vec();
+            group.sort_unstable();
+            group
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn perturbed_specs_stay_valid() {
+        let config = PerturbConfig::default();
+        for base in [
+            presets::tiny_smp(),
+            presets::tiny_shared_l2(),
+            presets::tiny_numa(),
+            presets::dunnington(),
+            presets::finis_terrae_node(),
+        ] {
+            for seed in 0..64 {
+                let spec = perturb(&base, seed, &config);
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", spec.name));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_spec() {
+        let base = presets::tiny_shared_l2();
+        let config = PerturbConfig::default();
+        assert_eq!(perturb(&base, 42, &config), perturb(&base, 42, &config));
+    }
+
+    #[test]
+    fn different_seeds_vary_the_population() {
+        let base = presets::tiny_smp();
+        let config = PerturbConfig::default();
+        let distinct_sizes: std::collections::BTreeSet<usize> = (0..32)
+            .map(|seed| perturb(&base, seed, &config).caches[1].size)
+            .collect();
+        assert!(
+            distinct_sizes.len() >= 2,
+            "perturbation never moved the L2 size: {distinct_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_stays_strictly_widening() {
+        let config = PerturbConfig::default();
+        for seed in 0..64 {
+            let spec = perturb(&presets::dunnington(), seed, &config);
+            for pair in spec.caches.windows(2) {
+                assert!(
+                    pair[1].size >= pair[0].size * 2,
+                    "{}: L{} {} vs L{} {}",
+                    spec.name,
+                    pair[0].level,
+                    pair[0].size,
+                    pair[1].level,
+                    pair[1].size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_levels_become_physical() {
+        let config = PerturbConfig::default();
+        for seed in 0..64 {
+            let spec = perturb(&presets::tiny_smp(), seed, &config);
+            for cache in &spec.caches {
+                if cache.is_shared() {
+                    assert_eq!(cache.indexing, Indexing::Physical, "{}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_knobs_leave_the_geometry_alone() {
+        let config = PerturbConfig {
+            vary_sizes: false,
+            vary_associativity: false,
+            vary_sharing: false,
+            ..PerturbConfig::default()
+        };
+        let base = presets::tiny_numa();
+        let spec = perturb(&base, 9, &config);
+        for (a, b) in base.caches.iter().zip(&spec.caches) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.associativity, b.associativity);
+            assert_eq!(a.sharing, b.sharing);
+        }
+    }
+}

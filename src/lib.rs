@@ -13,7 +13,10 @@
 //! * [`core`] (`servet-core`) — the benchmark suite itself: mcalibrator,
 //!   the probabilistic cache-size algorithm, shared-cache detection,
 //!   memory-overhead characterization, communication-cost determination,
-//!   and the [`core::MachineProfile`] they produce.
+//!   the [`core::MachineProfile`] they produce, and the
+//!   [`core::zoo`] batch driver that measures whole populations of
+//!   perturbed machines (`servet zoo`) and scores detection accuracy
+//!   against ground truth.
 //! * [`sim`] (`servet-sim`) — the machine simulator substrate: cache
 //!   hierarchies, virtual memory, prefetchers, memory buses.
 //! * [`net`] (`servet-net`) — the cluster interconnect simulator:
@@ -73,10 +76,12 @@ pub mod prelude {
     pub use servet_core::profile::MachineProfile;
     pub use servet_core::shared_cache::{detect_shared_caches, SharedCacheConfig};
     pub use servet_core::sim_platform::SimPlatform;
-    pub use servet_core::suite::{run_full_suite, SuiteConfig};
+    pub use servet_core::suite::{run_full_suite, run_suite, SuiteConfig};
+    pub use servet_core::zoo::{generate_population, run_zoo, ZooConfig, ZooReport};
     pub use servet_host::HostPlatform;
     pub use servet_registry::{
         compute_advice, AdviceOutcome, AdviceQuery, Registry, RegistryClient,
+        RetryingRegistryClient,
     };
 }
 

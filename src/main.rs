@@ -12,6 +12,7 @@
 //! servet serve --dir ~/.servet --addr 127.0.0.1:7431
 //! servet query put --profile dun.json --name dunnington
 //! servet query advise tile --key dunnington --level 2 --json
+//! servet zoo --machines 128 --workers 8 --seed 42  # batch-measure a population
 //! servet --trace suite                          # span tree on stderr at exit
 //! ```
 //!
@@ -40,6 +41,7 @@ fn main() {
         Some("advise") => cmd_advise(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("zoo") => cmd_zoo(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("help") | None => {
             print_help();
@@ -88,6 +90,11 @@ fn print_help() {
          \x20 servet query list [--json] [--addr A]\n\
          \x20 servet query advise <threads|tile|bcast> --key KEY [flags] [--json] [--addr A]\n\
          \x20 servet query stats [--json] [--addr A]\n\
+         \x20 servet zoo [--machines N] [--workers N] [--seed S] [--out FILE]\n\
+         \x20            [--addr HOST:PORT | --dir DIR | --no-stream]\n\
+         \x20                                                    measure a population of perturbed\n\
+         \x20                                                    machines, stream profiles to a\n\
+         \x20                                                    registry, score detection accuracy\n\
          \x20 servet machines                                    list simulated presets\n\
          \n\
          GLOBAL FLAGS:\n\
@@ -120,7 +127,9 @@ fn cmd_machines() -> i32 {
 
 fn run_and_save(platform: &mut dyn Platform, config: &SuiteConfig, out: Option<&str>) -> i32 {
     eprintln!("running the Servet suite on '{}' ...", platform.name());
-    let report = run_full_suite(platform, config);
+    // The scoped entry point: the manifest holds exactly this run's
+    // spans and counters even if other measurements share the process.
+    let (report, manifest) = run_suite(platform, config);
     print_profile(&report.profile);
     println!(
         "\nvirtual/wall benchmark time: {:.1} min",
@@ -134,7 +143,6 @@ fn run_and_save(platform: &mut dyn Platform, config: &SuiteConfig, out: Option<&
         println!("profile written to {path}");
         // The manifest records how the profile was measured: the exact
         // config plus the observed span tree and counters.
-        let manifest = servet::core::RunManifest::capture(&report, config);
         let mpath = servet::core::manifest_path(path);
         if let Err(e) = manifest.save(&mpath) {
             eprintln!("cannot write {}: {e}", mpath.display());
@@ -364,10 +372,12 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
+    // backlog 0 is meaningful (rendezvous: admit only when a worker is
+    // already waiting), so it is passed through unclamped.
     let config = ServerConfig {
         read_timeout: Duration::from_millis(read_timeout_ms.max(1)),
         workers: workers.max(1),
-        backlog: backlog.max(1),
+        backlog,
         ..defaults
     };
     match serve(registry, addr, config) {
@@ -377,7 +387,7 @@ fn cmd_serve(args: &[String]) -> i32 {
                  ({} workers, backlog {})",
                 handle.addr(),
                 workers.max(1),
-                backlog.max(1)
+                backlog
             );
             handle.join();
             0
@@ -584,6 +594,164 @@ fn cmd_query(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// Streams each zoo machine's measured profile into a registry, riding
+/// out overload rejections and dropped connections with the retrying
+/// client. One sink per worker, so no synchronization is needed.
+struct RegistrySink {
+    client: servet::registry::RetryingRegistryClient,
+}
+
+impl servet::core::zoo::ProfileSink for RegistrySink {
+    fn publish(
+        &mut self,
+        machine: &servet::core::zoo::ZooMachine,
+        report: &servet::core::SuiteReport,
+        _manifest: &servet::core::RunManifest,
+    ) -> std::io::Result<()> {
+        self.client
+            .put(&report.profile, Some(&machine.spec.name))
+            .map(|_digest| ())
+    }
+}
+
+fn cmd_zoo(args: &[String]) -> i32 {
+    use servet::core::zoo::{run_zoo, ProfileSink, ZooConfig};
+    use servet::registry::{serve, RetryPolicy, RetryingRegistryClient, ServerConfig};
+
+    let machines: usize = flag_value(args, "--machines")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 8)
+        });
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let out = flag_value(args, "--out").unwrap_or("zoo_report.json");
+    let no_stream = has_flag(args, "--no-stream");
+
+    // Where profiles stream to: an external registry (--addr), a
+    // self-hosted one over --dir or a temp dir (the default), or
+    // nowhere (--no-stream).
+    let mut embedded: Option<servet::registry::ServerHandle> = None;
+    let stream_addr: Option<std::net::SocketAddr> = if no_stream {
+        None
+    } else if let Some(addr) = flag_value(args, "--addr") {
+        match std::net::ToSocketAddrs::to_socket_addrs(&addr) {
+            Ok(mut addrs) => addrs.next(),
+            Err(e) => {
+                eprintln!("cannot resolve {addr}: {e}");
+                return 2;
+            }
+        }
+    } else {
+        let dir = flag_value(args, "--dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("servet-zoo-{}", std::process::id()))
+            });
+        let registry = match Registry::open(&dir) {
+            Ok(r) => Arc::new(r),
+            Err(e) => {
+                eprintln!("cannot open registry at {}: {e}", dir.display());
+                return 1;
+            }
+        };
+        let handle = match serve(registry, "127.0.0.1:0", ServerConfig::default()) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot self-host a registry: {e}");
+                return 1;
+            }
+        };
+        eprintln!(
+            "zoo: self-hosted registry on {} (store: {})",
+            handle.addr(),
+            dir.display()
+        );
+        let addr = handle.addr();
+        embedded = Some(handle);
+        Some(addr)
+    };
+
+    let config = ZooConfig::new(machines, workers, seed);
+    eprintln!(
+        "zoo: measuring {machines} machines (seed {seed}) on {} worker(s) ...",
+        config.workers.max(1)
+    );
+    let report = match run_zoo(&config, |_worker| {
+        Ok(stream_addr.map(|addr| {
+            Box::new(RegistrySink {
+                client: RetryingRegistryClient::new(addr, RetryPolicy::default()),
+            }) as Box<dyn ProfileSink>
+        }))
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("zoo run failed: {e}");
+            return 1;
+        }
+    };
+
+    let acc = &report.accuracy;
+    println!(
+        "cache-size detection: {}/{} sizes correct ({:.1}%), level count right on {}/{} machines",
+        acc.cache_sizes_correct,
+        acc.cache_sizes_total,
+        100.0 * acc.cache_size_accuracy(),
+        acc.level_count_correct,
+        acc.machines
+    );
+    println!(
+        "sharing detection:    {}/{} levels correct ({:.1}%)",
+        acc.sharing_correct,
+        acc.sharing_total,
+        100.0 * acc.sharing_accuracy()
+    );
+    println!(
+        "comm probe-size fallbacks (no cache detected): {}",
+        acc.probe_fallbacks
+    );
+    if !report.stage_times.is_empty() {
+        println!("stage times over the population (virtual seconds):");
+        for (stage, stats) in &report.stage_times {
+            println!(
+                "  {:<16} min {:>8.2}  mean {:>8.2}  max {:>8.2}  total {:>9.1}",
+                stage, stats.min_s, stats.mean_s, stats.max_s, stats.total_s
+            );
+        }
+    }
+
+    // Registry-side accounting: how many profiles landed and how the
+    // accept queue coped with the fan-in.
+    if let Some(addr) = stream_addr {
+        let mut client = RetryingRegistryClient::new(addr, RetryPolicy::default());
+        match client.stats() {
+            Ok(stats) => println!(
+                "registry after streaming: {} profiles, {} requests, \
+                 accept rejected {} (queue high-water {})",
+                stats.profiles, stats.requests, stats.accept.rejected, stats.accept.queue_depth_max
+            ),
+            Err(e) => eprintln!("registry stats unavailable: {e}"),
+        }
+    }
+    if let Some(handle) = embedded {
+        handle.shutdown();
+    }
+
+    if let Err(e) = servet::core::profile::write_atomic(out, report.to_json().as_bytes()) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!("zoo report written to {out}");
+    0
 }
 
 fn print_profile(profile: &MachineProfile) {
