@@ -19,15 +19,19 @@
 //!   systems", §III-D).
 //! * [`collectives`] — hierarchy-aware broadcast algorithm selection from
 //!   the measured communication layers.
+//! * [`padding`] — per-thread padding and alignment from the measured
+//!   false-sharing sweep, with the micro-probe line size as fallback.
 
 pub mod aggregation;
 pub mod collectives;
 pub mod concurrency;
+pub mod padding;
 pub mod placement;
 pub mod tiling;
 
 pub use aggregation::{aggregation_decision, AggregationDecision};
 pub use collectives::select_broadcast;
 pub use concurrency::{advise_memory_threads, ConcurrencyAdvice};
+pub use padding::{advise_padding, PaddingAdvice};
 pub use placement::{CommPattern, PlacementResult, Placer};
 pub use tiling::{select_tile, TileChoice};

@@ -120,6 +120,7 @@ mod tests {
             memory: None,
             communication: None,
             micro: None,
+            false_sharing: None,
         }
     }
 

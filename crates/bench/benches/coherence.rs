@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the MESI coherence layer: line ping-pong
+//! throughput through the simulated bus, and the full false-sharing
+//! sweep the suite's new stage runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use servet_core::false_sharing::{detect_false_sharing, FalseSharingConfig};
+use servet_core::platform::{Platform, SharedStreamJob};
+use servet_core::SimPlatform;
+
+/// Two cores writing `count` accesses each, `separation` bytes apart —
+/// sub-line separations ping-pong every line, line-sized ones are quiet.
+fn pingpong_jobs(separation: usize, count: usize) -> Vec<SharedStreamJob> {
+    [(0, 0), (1, separation)]
+        .into_iter()
+        .map(|(core, offset)| SharedStreamJob {
+            core,
+            offset,
+            stride: 1024,
+            count,
+            write: true,
+        })
+        .collect()
+}
+
+fn bench_line_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence/pingpong");
+    for &separation in &[8usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(separation),
+            &separation,
+            |b, &separation| {
+                let mut platform = SimPlatform::tiny();
+                let jobs = pingpong_jobs(separation, 16);
+                b.iter(|| {
+                    black_box(platform.shared_stream_cycles(black_box(17 * 1024), &jobs));
+                    platform.take_coherence_traffic();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_false_sharing_sweep(c: &mut Criterion) {
+    c.bench_function("coherence/false_sharing_sweep", |b| {
+        let config = FalseSharingConfig::default();
+        b.iter(|| {
+            let mut platform = SimPlatform::tiny();
+            black_box(detect_false_sharing(&mut platform, &config))
+        });
+    });
+}
+
+criterion_group!(benches, bench_line_pingpong, bench_false_sharing_sweep);
+criterion_main!(benches);

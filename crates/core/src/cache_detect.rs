@@ -405,12 +405,19 @@ pub fn detect_cache_levels(
             let lo = start.saturating_sub(1).max(l1_index + 1);
             let hi = saturated_window_end(&gradients, end, config.gradient_threshold, next_rise)
                 .min(out.sizes.len() - 1);
-            if let Some(size) = probabilistic_size(
-                &out.sizes[lo..=hi],
-                &out.cycles[lo..=hi],
-                page_size,
-                &config.grid,
-            ) {
+            // Adjacency guard: a distinct level below the previous one
+            // must be at least twice its size (equal-size levels are
+            // indistinguishable by a size sweep). When L2 = 2×L1 the
+            // window starts right at the L1 edge and `restricted`'s
+            // `sizes[0]/2` bound would admit tentative sizes at or below
+            // L1, which can out-fit the true size on a window this
+            // short — so they are cut from the grid up front.
+            let floor = levels.last().map(|l| l.size * 2).unwrap_or(0);
+            let mut grid = config.grid.clone();
+            grid.sizes.retain(|&s| s >= floor);
+            if let Some(size) =
+                probabilistic_size(&out.sizes[lo..=hi], &out.cycles[lo..=hi], page_size, &grid)
+            {
                 levels.push(CacheLevelEstimate {
                     level,
                     size,
@@ -553,6 +560,32 @@ mod tests {
         assert_eq!(levels[0].size, 8 * KB);
         assert_eq!(levels[0].method, DetectionMethod::GradientPeak);
         assert_eq!(levels[1].size, 64 * KB, "{levels:?}");
+    }
+
+    /// Regression for the zoo's `L2 = 2×L1` adjacency miss class
+    /// (ROADMAP item 5). On these zoo machines — pinned from an
+    /// empirical 480-machine scan — the fit used to return a tentative
+    /// size at or below the detected L1 (16 KB or 18 KB for a true
+    /// 32 KB L2): the window starts right at the L1 edge, so the
+    /// `sizes[0]/2` bound admitted candidates no distinct second level
+    /// can have. The 2×-floor guard cuts them from the grid.
+    #[test]
+    fn adjacent_l2_is_not_detected_below_twice_l1() {
+        use crate::zoo::{generate_population, ZooConfig};
+        for (zoo_seed, index) in [(29u64, 8usize), (32, 9), (33, 11)] {
+            let cfg = ZooConfig::new(12, 1, zoo_seed);
+            let m = generate_population(&cfg).swap_remove(index);
+            let truth: Vec<usize> = m.spec.caches.iter().map(|c| c.size).collect();
+            assert_eq!(truth[1], truth[0] * 2, "scan pinned an adjacency machine");
+            let sim = servet_sim::Machine::with_seed(m.spec.clone(), m.sim_seed);
+            let mut p = SimPlatform::new(sim, None)
+                .with_noise(m.noise)
+                .with_seed(m.sim_seed);
+            let out = mcalibrator(&mut p, 0, &cfg.suite.mcalibrator);
+            let levels = detect_cache_levels(&out, m.spec.page_size, &cfg.suite.detect);
+            let got: Vec<usize> = levels.iter().map(|l| l.size).collect();
+            assert_eq!(got, truth, "zoo seed {zoo_seed} machine {index}");
+        }
     }
 
     #[test]

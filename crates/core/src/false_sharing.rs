@@ -1,0 +1,375 @@
+//! False-sharing detection and the cache-mediated communication model.
+//!
+//! Two cores that write locations less than a cache line apart ping-pong
+//! the line between their caches: every store upgrades or re-fetches the
+//! line and invalidates the peer, so the per-access cost is dominated by
+//! coherence transactions rather than the cache hierarchy itself. The
+//! cure is padding — separating the hot locations by at least a line.
+//!
+//! This module sweeps the separation between two write streams over one
+//! shared buffer ([`Platform::shared_stream_cycles`]) and reports the
+//! smallest stride at which the ping-pong disappears — the padding a
+//! code generator should insert between per-thread data. On platforms
+//! that expose coherence traffic the sweep also records the
+//! invalidation/upgrade counts behind each point, and a producer/consumer
+//! handoff probe fits the §III-D cache-mediated communication model: the
+//! cost, in cycles per line, of moving data between on-chip cores through
+//! the coherence fabric instead of a message-passing layer.
+
+use crate::platform::{CoreId, Platform, SharedStreamJob};
+use serde::{Deserialize, Serialize};
+use servet_sim::CoherenceTraffic;
+
+/// Configuration of the false-sharing sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FalseSharingConfig {
+    /// Separations (bytes) between the two cores' write streams,
+    /// ascending. The advised padding is the smallest quiet one.
+    pub strides: Vec<usize>,
+    /// Lines touched per stream per pass.
+    pub lines_per_stream: usize,
+    /// Spacing (bytes) between consecutive accesses of one stream; must
+    /// exceed the largest candidate stride and any plausible line size.
+    pub base_spacing: usize,
+    /// Ratio over the well-separated baseline above which a stride is
+    /// considered to still be false sharing.
+    pub ratio_threshold: f64,
+    /// The two cores running the streams.
+    pub cores: (CoreId, CoreId),
+}
+
+impl Default for FalseSharingConfig {
+    fn default() -> Self {
+        Self {
+            strides: vec![8, 16, 32, 64, 128, 256],
+            // Small enough that the quiet configuration stays
+            // cache-resident on even the tiny presets: the sweep must
+            // compare ping-pong cost against cheap hits, not against
+            // capacity misses that drown the coherence signal.
+            lines_per_stream: 16,
+            base_spacing: 1024,
+            ratio_threshold: 2.0,
+            cores: (0, 1),
+        }
+    }
+}
+
+/// One point of the stride sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StridePoint {
+    /// Separation (bytes) between the two write streams.
+    pub stride: usize,
+    /// Mean cycles per access over the two streams.
+    pub cycles_per_access: f64,
+    /// `cycles_per_access` relative to the well-separated baseline.
+    pub ratio: f64,
+    /// Coherence traffic behind this point, when the platform can
+    /// observe it.
+    #[serde(default)]
+    pub traffic: Option<CoherenceTraffic>,
+}
+
+/// The §III-D cache-mediated communication model: cost of handing data
+/// from a producer core to a consumer core through the shared coherence
+/// fabric, fitted from a write-then-read probe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheCommModel {
+    /// Line size (bytes) assumed by the model — the advised padding,
+    /// i.e. the coherence granularity the sweep observed.
+    pub line_bytes: usize,
+    /// Consumer-side cycles to pull one producer-written line.
+    pub per_line_cycles: f64,
+}
+
+impl CacheCommModel {
+    /// Predicted cycles to hand `bytes` of producer-written data to the
+    /// consumer through the cache hierarchy.
+    pub fn predicted_handoff_cycles(&self, bytes: usize) -> f64 {
+        let lines = bytes.div_ceil(self.line_bytes.max(1)).max(1);
+        lines as f64 * self.per_line_cycles
+    }
+}
+
+/// Results of the false-sharing sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FalseSharingResult {
+    /// Cycles per access with the streams separated by
+    /// [`FalseSharingConfig::base_spacing`] / 2 — no line sharing.
+    pub baseline_cycles: f64,
+    /// The sweep, in ascending stride order.
+    pub points: Vec<StridePoint>,
+    /// Smallest stride whose cost fell back to the baseline — the
+    /// padding to insert between per-thread data. `None` when every
+    /// candidate still ping-pongs (padding must exceed the sweep).
+    pub advised_padding: Option<usize>,
+    /// The fitted on-chip communication model, when a quiet stride
+    /// exists to anchor the line size.
+    #[serde(default)]
+    pub comm_model: Option<CacheCommModel>,
+}
+
+impl FalseSharingResult {
+    /// Whether any candidate stride exhibited false sharing: invalidation
+    /// traffic when the platform reports it, a cost blow-up otherwise.
+    pub fn observed_false_sharing(&self) -> bool {
+        self.points.iter().any(|p| match &p.traffic {
+            Some(t) => t.invalidations > 0,
+            None => p.ratio.is_finite() && p.ratio > 1.5,
+        })
+    }
+}
+
+/// Two write streams `separation` bytes apart, `spacing` bytes between
+/// a stream's consecutive accesses.
+fn pair_jobs(config: &FalseSharingConfig, separation: usize) -> [SharedStreamJob; 2] {
+    let (a, b) = config.cores;
+    let count = config.lines_per_stream;
+    [
+        SharedStreamJob {
+            core: a,
+            offset: 0,
+            stride: config.base_spacing,
+            count,
+            write: true,
+        },
+        SharedStreamJob {
+            core: b,
+            offset: separation,
+            stride: config.base_spacing,
+            count,
+            write: true,
+        },
+    ]
+}
+
+fn buffer_bytes(config: &FalseSharingConfig) -> usize {
+    // Large enough for the farthest-apart pair of streams.
+    config.lines_per_stream * config.base_spacing + config.base_spacing
+}
+
+/// Run the false-sharing sweep on `platform`.
+///
+/// Requires [`Platform::supports_coherence_probes`]; gate on it before
+/// calling. Exports the total coherence traffic of the sweep through the
+/// `coherence.*` observability counters when the platform reports it.
+pub fn detect_false_sharing(
+    platform: &mut dyn Platform,
+    config: &FalseSharingConfig,
+) -> FalseSharingResult {
+    assert!(
+        platform.supports_coherence_probes(),
+        "platform {:?} cannot run the false-sharing sweep",
+        platform.name()
+    );
+    assert!(!config.strides.is_empty(), "stride sweep must be non-empty");
+    let max_stride = config.strides.iter().copied().max().unwrap_or(0);
+    assert!(
+        max_stride < config.base_spacing / 2,
+        "candidate strides must stay below half the base spacing"
+    );
+    let buffer = buffer_bytes(config);
+
+    // Baseline: the same two streams, separated by half the spacing —
+    // far enough apart that no plausible line covers both.
+    platform.take_coherence_traffic(); // drain earlier stages' traffic
+    let base = platform.shared_stream_cycles(buffer, &pair_jobs(config, config.base_spacing / 2));
+    let baseline_cycles = mean(&base);
+    let mut total = platform.take_coherence_traffic().unwrap_or_default();
+
+    let mut points = Vec::with_capacity(config.strides.len());
+    for &stride in &config.strides {
+        let cycles = platform.shared_stream_cycles(buffer, &pair_jobs(config, stride));
+        let traffic = platform.take_coherence_traffic();
+        if let Some(t) = &traffic {
+            total.invalidations += t.invalidations;
+            total.writebacks += t.writebacks;
+            total.interventions += t.interventions;
+            total.upgrades += t.upgrades;
+            total.coherence_misses += t.coherence_misses;
+            total.capacity_misses += t.capacity_misses;
+        }
+        let cycles_per_access = mean(&cycles);
+        points.push(StridePoint {
+            stride,
+            cycles_per_access,
+            ratio: cycles_per_access / baseline_cycles.max(f64::MIN_POSITIVE),
+            traffic,
+        });
+    }
+
+    servet_obs::counter("coherence.invalidations").add(total.invalidations);
+    servet_obs::counter("coherence.writebacks").add(total.writebacks);
+    servet_obs::counter("coherence.interventions").add(total.interventions);
+    servet_obs::counter("coherence.upgrades").add(total.upgrades);
+    servet_obs::counter("coherence.coherence_misses").add(total.coherence_misses);
+
+    // Smallest stride at which the ping-pong stops. Platforms that
+    // report coherence traffic give an exact signal — two write streams
+    // on distinct lines generate no invalidations at all, however hard
+    // capacity pressure distorts their cycle costs. Hardware platforms
+    // fall back to the cost ratio against the separated baseline.
+    // Either way, require every larger stride to be quiet as well, so a
+    // noisy dip mid-sweep is not mistaken for the line boundary.
+    let quiet = |p: &StridePoint| match &p.traffic {
+        Some(t) => t.invalidations == 0,
+        None => p.ratio <= config.ratio_threshold,
+    };
+    let advised_padding = (0..points.len())
+        .find(|&i| points[i..].iter().all(quiet))
+        .map(|i| points[i].stride);
+
+    let comm_model = advised_padding.map(|line| CacheCommModel {
+        line_bytes: line,
+        per_line_cycles: handoff_per_line_cycles(platform, config),
+    });
+
+    FalseSharingResult {
+        baseline_cycles,
+        points,
+        advised_padding,
+        comm_model,
+    }
+}
+
+/// Producer-write / consumer-read handoff over distinct lines: the
+/// consumer's cycles per access is the per-line cost of pulling data the
+/// producer dirtied — intervention plus bus transfer on the simulator,
+/// a cache-to-cache fill on hardware.
+fn handoff_per_line_cycles(platform: &mut dyn Platform, config: &FalseSharingConfig) -> f64 {
+    let (producer, consumer) = config.cores;
+    let count = config.lines_per_stream;
+    let jobs = [
+        SharedStreamJob {
+            core: producer,
+            offset: 0,
+            stride: config.base_spacing,
+            count,
+            write: true,
+        },
+        SharedStreamJob {
+            core: consumer,
+            offset: 0,
+            stride: config.base_spacing,
+            count,
+            write: false,
+        },
+    ];
+    let cycles = platform.shared_stream_cycles(buffer_bytes(config), &jobs);
+    platform.take_coherence_traffic(); // keep the sweep's ledger clean
+    cycles.get(1).copied().unwrap_or_default()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_platform::SimPlatform;
+    use servet_sim::{presets, Machine};
+
+    fn sweep(spec: servet_sim::MachineSpec) -> FalseSharingResult {
+        let mut platform = SimPlatform::new(Machine::with_seed(spec, 42), None);
+        assert!(platform.supports_coherence_probes());
+        detect_false_sharing(&mut platform, &FalseSharingConfig::default())
+    }
+
+    #[test]
+    fn detects_line_padding_on_tiny_presets() {
+        for spec in [
+            presets::tiny_smp(),
+            presets::tiny_shared_l2(),
+            presets::tiny_numa(),
+        ] {
+            let name = spec.name.clone();
+            let result = sweep(spec);
+            assert!(
+                result.observed_false_sharing(),
+                "{name}: no ping-pong observed"
+            );
+            let padding = result
+                .advised_padding
+                .unwrap_or_else(|| panic!("{name}: no quiet stride found: {:?}", result.points));
+            assert!(
+                padding >= 64,
+                "{name}: advised padding {padding} below the 64 B line"
+            );
+            let model = result.comm_model.expect("comm model fitted");
+            assert!(model.per_line_cycles > 0.0);
+            assert!(model.predicted_handoff_cycles(1024) > model.predicted_handoff_cycles(64));
+        }
+    }
+
+    #[test]
+    fn sub_line_strides_ping_pong_and_carry_traffic() {
+        let result = sweep(presets::tiny_smp());
+        let sub_line: Vec<&StridePoint> = result.points.iter().filter(|p| p.stride < 64).collect();
+        assert!(!sub_line.is_empty());
+        for p in sub_line {
+            assert!(
+                p.ratio > 2.0,
+                "stride {} should ping-pong, ratio {}",
+                p.stride,
+                p.ratio
+            );
+            let t = p.traffic.as_ref().expect("sim reports traffic");
+            assert!(
+                t.invalidations > 0,
+                "stride {} saw no invalidations",
+                p.stride
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_strides_match_baseline_traffic_shape() {
+        let result = sweep(presets::tiny_smp());
+        let quiet = result
+            .points
+            .iter()
+            .find(|p| p.stride >= 64)
+            .expect("sweep covers at-line strides");
+        let hot = result.points.iter().find(|p| p.stride < 64).unwrap();
+        let qt = quiet.traffic.as_ref().unwrap();
+        let ht = hot.traffic.as_ref().unwrap();
+        assert!(ht.invalidations > qt.invalidations);
+        assert!(ht.coherence_misses > qt.coherence_misses);
+    }
+
+    #[test]
+    fn result_serde_round_trips() {
+        let result = sweep(presets::tiny_smp());
+        let json = serde_json::to_string(&result).unwrap();
+        let back: FalseSharingResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = sweep(presets::tiny_smp());
+        let b = sweep(presets::tiny_smp());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run the false-sharing sweep")]
+    fn unicore_platform_is_rejected() {
+        let mut platform = SimPlatform::athlon3200();
+        detect_false_sharing(&mut platform, &FalseSharingConfig::default());
+    }
+
+    #[test]
+    fn comm_model_rounds_bytes_up_to_lines() {
+        let model = CacheCommModel {
+            line_bytes: 64,
+            per_line_cycles: 100.0,
+        };
+        assert_eq!(model.predicted_handoff_cycles(1), 100.0);
+        assert_eq!(model.predicted_handoff_cycles(64), 100.0);
+        assert_eq!(model.predicted_handoff_cycles(65), 200.0);
+    }
+}

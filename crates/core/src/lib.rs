@@ -33,6 +33,7 @@
 
 pub mod cache_detect;
 pub mod comm;
+pub mod false_sharing;
 pub mod manifest;
 pub mod mcalibrator;
 pub mod mem_overhead;
@@ -46,6 +47,9 @@ pub mod zoo;
 
 pub use cache_detect::{detect_cache_levels, CacheLevelEstimate, DetectConfig, DetectionMethod};
 pub use comm::{characterize_communication, CommConfig, CommResult};
+pub use false_sharing::{
+    detect_false_sharing, CacheCommModel, FalseSharingConfig, FalseSharingResult, StridePoint,
+};
 pub use manifest::{manifest_path, RunManifest, SpanEntry, MANIFEST_VERSION};
 pub use mcalibrator::{mcalibrator, McalibratorConfig, McalibratorOutput};
 pub use mem_overhead::{characterize_memory, MemOverheadConfig, MemOverheadResult};

@@ -13,6 +13,7 @@
 use crate::profile::write_atomic;
 use crate::suite::{SuiteConfig, SuiteReport, SuiteTimings};
 use serde::{Deserialize, Serialize};
+use servet_sim::CoherenceSpec;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -55,6 +56,12 @@ pub struct RunManifest {
     /// Event counters at capture time (process-wide totals).
     #[serde(default)]
     pub counters: BTreeMap<String, u64>,
+    /// Coherence bus/snoop transaction latencies of the measured
+    /// platform, when known — the simulator parameters a zoo run needs
+    /// to be reproducible from the manifest alone. Absent for platforms
+    /// that cannot report them and in manifests from before the field.
+    #[serde(default)]
+    pub coherence: Option<CoherenceSpec>,
 }
 
 impl RunManifest {
@@ -82,6 +89,7 @@ impl RunManifest {
             config: config.clone(),
             spans,
             counters: servet_obs::metrics::global().counters_snapshot(),
+            coherence: None,
         }
     }
 
@@ -112,6 +120,7 @@ impl RunManifest {
                 })
                 .collect(),
             counters: data.counters,
+            coherence: None,
         }
     }
 

@@ -15,6 +15,8 @@
 //! and a concurrent-message latency — plus an elapsed-time ledger used to
 //! reproduce Table I.
 
+use servet_sim::{CoherenceSpec, CoherenceTraffic};
+
 /// A core index. For cache and memory benchmarks, cores `0..num_cores()`
 /// of one shared-memory node; for communication benchmarks, global cores
 /// `0..total_cores()` across the cluster.
@@ -22,6 +24,27 @@ pub type CoreId = usize;
 
 /// One concurrent-traversal job: `(core, array_size_bytes)`.
 pub type TraverseJob = (CoreId, usize);
+
+/// One access stream of a shared-buffer coherence probe: `count`
+/// accesses per pass over one buffer shared by every stream of the
+/// probe, starting at byte `offset`, `stride` bytes apart.
+///
+/// This is the primitive under the false-sharing sweep (two cores
+/// writing a sub-line distance apart) and the cache-mediated
+/// communication model (§III-D): producer writes, consumer reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedStreamJob {
+    /// Core executing the stream.
+    pub core: CoreId,
+    /// Byte offset of the stream's first access within the buffer.
+    pub offset: usize,
+    /// Stride in bytes between accesses.
+    pub stride: usize,
+    /// Accesses per pass.
+    pub count: usize,
+    /// Whether the accesses are stores.
+    pub write: bool,
+}
 
 /// The measurement surface of a machine under test.
 pub trait Platform {
@@ -80,6 +103,43 @@ pub trait Platform {
         pairs: &[(CoreId, CoreId)],
         size: usize,
     ) -> Vec<f64>;
+
+    /// Whether shared-buffer coherence probes ([`Self::shared_stream_cycles`])
+    /// are available. False by default: only platforms that can run
+    /// read/write streams over one shared buffer — and tell the cost
+    /// apart from noise — should opt in.
+    fn supports_coherence_probes(&self) -> bool {
+        false
+    }
+
+    /// Average cycles per access for each stream of a shared-buffer
+    /// probe over a fresh `buffer_bytes` buffer (one warm-up pass, then
+    /// measured passes), in job order.
+    ///
+    /// Only meaningful when [`Self::supports_coherence_probes`] is true;
+    /// the default implementation panics so that unsupported platforms
+    /// fail loudly rather than return fabricated numbers.
+    fn shared_stream_cycles(&mut self, buffer_bytes: usize, jobs: &[SharedStreamJob]) -> Vec<f64> {
+        let _ = (buffer_bytes, jobs);
+        panic!(
+            "platform {:?} does not support coherence probes (gate on supports_coherence_probes)",
+            self.name()
+        );
+    }
+
+    /// Coherence traffic accumulated by shared-buffer probes since the
+    /// last call, when the platform can observe it (hardware platforms
+    /// usually cannot; the simulator can).
+    fn take_coherence_traffic(&mut self) -> Option<CoherenceTraffic> {
+        None
+    }
+
+    /// The machine's coherence transaction latencies, when known. Run
+    /// manifests record these so a zoo run is reproducible from the
+    /// manifest alone.
+    fn coherence_params(&self) -> Option<CoherenceSpec> {
+        None
+    }
 
     /// Wall-clock (or virtual) seconds consumed by all measurements so far.
     /// The suite reads deltas of this to reproduce Table I.
@@ -142,5 +202,29 @@ mod tests {
     fn default_messaging_support() {
         assert!(Fake { cores: 2 }.supports_messaging());
         assert!(!Fake { cores: 1 }.supports_messaging());
+    }
+
+    #[test]
+    fn coherence_probes_default_to_unsupported() {
+        let mut f = Fake { cores: 4 };
+        assert!(!f.supports_coherence_probes());
+        assert!(f.take_coherence_traffic().is_none());
+        assert!(f.coherence_params().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support coherence probes")]
+    fn default_shared_stream_panics() {
+        let mut f = Fake { cores: 4 };
+        f.shared_stream_cycles(
+            1024,
+            &[SharedStreamJob {
+                core: 0,
+                offset: 0,
+                stride: 64,
+                count: 4,
+                write: true,
+            }],
+        );
     }
 }

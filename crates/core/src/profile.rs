@@ -8,6 +8,7 @@
 
 use crate::cache_detect::CacheLevelEstimate;
 use crate::comm::CommResult;
+use crate::false_sharing::FalseSharingResult;
 use crate::mcalibrator::McalibratorOutput;
 use crate::mem_overhead::MemOverheadResult;
 use crate::micro::MicroProfile;
@@ -71,6 +72,11 @@ pub struct MachineProfile {
     /// Micro-probe extensions: line size and L1 associativity.
     #[serde(default)]
     pub micro: Option<MicroProfile>,
+    /// False-sharing sweep and cache-mediated communication model
+    /// (absent on unicore machines and platforms without coherence
+    /// probes).
+    #[serde(default)]
+    pub false_sharing: Option<FalseSharingResult>,
 }
 
 impl MachineProfile {
@@ -122,6 +128,13 @@ impl MachineProfile {
     /// Detected L1 associativity (micro probe).
     pub fn l1_associativity(&self) -> Option<usize> {
         self.micro.and_then(|m| m.l1_associativity)
+    }
+
+    /// Padding (bytes) to insert between per-thread data so concurrent
+    /// writers never false-share a line, as measured by the
+    /// false-sharing sweep.
+    pub fn advised_padding(&self) -> Option<usize> {
+        self.false_sharing.as_ref().and_then(|f| f.advised_padding)
     }
 
     /// Serialize to pretty JSON.
@@ -188,6 +201,7 @@ mod tests {
             memory: None,
             communication: None,
             micro: None,
+            false_sharing: None,
         }
     }
 
@@ -207,6 +221,7 @@ mod tests {
         assert_eq!(p.latency_us(0, 1, 64), None);
         assert_eq!(p.memory_bandwidth_gbs(&[0, 1]), None);
         assert_eq!(p.reference_bandwidth_gbs(), None);
+        assert_eq!(p.advised_padding(), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cost ratio against the reference exceeds 2; pairs with private instances
 //! stay near 1.
 
-use crate::platform::{CoreId, Platform};
+use crate::platform::{CoreId, Platform, SharedStreamJob};
 use serde::{Deserialize, Serialize};
 use servet_stats::groups::groups_from_pairs;
 
@@ -52,11 +52,34 @@ pub struct SharedLevel {
     pub groups: Vec<Vec<CoreId>>,
 }
 
+/// Coherence-vs-capacity split of the misses of a two-core write probe
+/// at one cache level's working-set size — §III-B's interference, seen
+/// through the MESI layer instead of a cost ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelMissDecomposition {
+    /// 1-based cache level whose size set the probe's working set.
+    pub level: u8,
+    /// Cache size the working set was derived from, bytes.
+    pub cache_size: usize,
+    /// Misses to lines the peer core had invalidated (true sharing and
+    /// ping-pong — the coherence component of the Fig. 5 slowdown).
+    pub coherence_misses: u64,
+    /// Misses to lines simply evicted (the capacity component).
+    pub capacity_misses: u64,
+    /// `coherence_misses / (coherence_misses + capacity_misses)`.
+    pub coherence_fraction: f64,
+}
+
 /// Results for all levels — the paper's `Psc[0..l-1]`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SharedCacheResult {
     /// One entry per cache level, in level order.
     pub levels: Vec<SharedLevel>,
+    /// Per-level miss decomposition, when the platform exposes coherence
+    /// traffic (filled by the suite's coherence stage; empty otherwise,
+    /// and in profiles written before the field existed).
+    #[serde(default)]
+    pub miss_decomposition: Vec<LevelMissDecomposition>,
 }
 
 impl SharedCacheResult {
@@ -122,7 +145,62 @@ pub fn detect_shared_caches(
             groups,
         });
     }
-    SharedCacheResult { levels }
+    SharedCacheResult {
+        levels,
+        miss_decomposition: Vec::new(),
+    }
+}
+
+/// Decompose the misses behind each level's Fig. 5 interference into
+/// coherence and capacity misses.
+///
+/// Two cores write one shared buffer sized like the level's Fig. 5
+/// arrays, touching the *same* lines: line steals show up as coherence
+/// misses, while cold first-touches and plain evictions land in the
+/// capacity bucket. A high coherence fraction says the interference at
+/// that working-set size is line ping-pong, not eviction pressure.
+///
+/// Runs as part of the suite's coherence stage — after the paper's own
+/// benchmarks — so their measurements are untouched. Requires
+/// [`Platform::supports_coherence_probes`].
+pub fn decompose_shared_misses(
+    platform: &mut dyn Platform,
+    cache_sizes: &[usize],
+    config: &SharedCacheConfig,
+) -> Vec<LevelMissDecomposition> {
+    assert!(
+        platform.supports_coherence_probes(),
+        "platform {:?} cannot observe coherence traffic",
+        platform.name()
+    );
+    cache_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &cs)| {
+            let size = (((cs as f64) * config.size_fraction) as usize).max(config.stride);
+            let count = (size / config.stride).max(1);
+            let jobs: Vec<SharedStreamJob> = [0, 1]
+                .into_iter()
+                .map(|core| SharedStreamJob {
+                    core,
+                    offset: 0,
+                    stride: config.stride,
+                    count,
+                    write: true,
+                })
+                .collect();
+            platform.take_coherence_traffic(); // drain unrelated traffic
+            platform.shared_stream_cycles(size, &jobs);
+            let t = platform.take_coherence_traffic().unwrap_or_default();
+            LevelMissDecomposition {
+                level: (i + 1) as u8,
+                cache_size: cs,
+                coherence_misses: t.coherence_misses,
+                capacity_misses: t.capacity_misses,
+                coherence_fraction: t.coherence_miss_fraction(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -170,6 +248,34 @@ mod tests {
         let mut p = SimPlatform::tiny().with_noise(0.0);
         let result = detect_shared_caches(&mut p, &[8 * KB], &SharedCacheConfig::default());
         assert_eq!(result.levels[0].pair_ratios.len(), 6); // C(4,2)
+    }
+
+    #[test]
+    fn decomposition_shows_ping_pong_as_coherence_misses() {
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        let decomp =
+            decompose_shared_misses(&mut p, &[8 * KB, 64 * KB], &SharedCacheConfig::default());
+        assert_eq!(decomp.len(), 2);
+        for d in &decomp {
+            // Same-line writers: every steady-state miss is a line steal.
+            assert!(
+                d.coherence_misses > d.capacity_misses,
+                "level {}: {} coherence vs {} capacity",
+                d.level,
+                d.coherence_misses,
+                d.capacity_misses
+            );
+            assert!(d.coherence_fraction > 0.5);
+        }
+        assert_eq!(decomp[0].level, 1);
+        assert_eq!(decomp[1].cache_size, 64 * KB);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot observe coherence traffic")]
+    fn decomposition_requires_coherence_probes() {
+        let mut p = SimPlatform::athlon3200();
+        decompose_shared_misses(&mut p, &[8 * KB], &SharedCacheConfig::default());
     }
 
     #[test]

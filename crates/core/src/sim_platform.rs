@@ -14,13 +14,13 @@
 //! (process spawn, affinity call, barrier). Table I of the paper is
 //! reproduced from this ledger.
 
-use crate::platform::{CoreId, Platform, TraverseJob};
+use crate::platform::{CoreId, Platform, SharedStreamJob, TraverseJob};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use servet_net::cluster::VirtualCluster;
-use servet_sim::machine::TraversalJob;
+use servet_sim::machine::{SharedJob, TraversalJob};
 use servet_sim::membw::MemorySystem;
-use servet_sim::Machine;
+use servet_sim::{CoherenceSpec, CoherenceTraffic, Machine};
 
 /// What one real-world measurement costs beyond the simulated operation
 /// itself.
@@ -314,6 +314,39 @@ impl Platform for SimPlatform {
         self.cluster.is_some() && self.total_cores() > 1
     }
 
+    fn supports_coherence_probes(&self) -> bool {
+        self.machine.spec().coherence.is_some() && self.num_cores() > 1
+    }
+
+    fn shared_stream_cycles(&mut self, buffer_bytes: usize, jobs: &[SharedStreamJob]) -> Vec<f64> {
+        let array = self.machine.alloc_shared_array(buffer_bytes);
+        self.machine.reset();
+        let sim_jobs: Vec<SharedJob<'_>> = jobs
+            .iter()
+            .map(|j| SharedJob {
+                core: j.core,
+                array: &array,
+                offset: j.offset,
+                stride: j.stride,
+                count: j.count,
+                write: j.write,
+            })
+            .collect();
+        let cycles = self.machine.traverse_shared(&sim_jobs, 1, 4);
+        let worst = cycles.iter().copied().fold(0.0, f64::max);
+        let accesses = jobs.iter().map(|j| j.count).max().unwrap_or(1) as f64 * 4.0;
+        self.charge_traverse(accesses, worst);
+        cycles.into_iter().map(|c| self.noisy(c)).collect()
+    }
+
+    fn take_coherence_traffic(&mut self) -> Option<CoherenceTraffic> {
+        self.machine.take_coherence_traffic()
+    }
+
+    fn coherence_params(&self) -> Option<CoherenceSpec> {
+        self.machine.spec().coherence
+    }
+
     fn elapsed_seconds(&self) -> f64 {
         self.elapsed_s
     }
@@ -394,6 +427,26 @@ mod tests {
         assert!(t1 > 0.0);
         p.copy_bandwidth_gbs(&[0]);
         assert!(p.elapsed_seconds() > t1);
+    }
+
+    #[test]
+    fn shared_stream_shows_false_sharing() {
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        assert!(p.supports_coherence_probes());
+        let job = |core, offset| SharedStreamJob {
+            core,
+            offset,
+            stride: 64,
+            count: 8,
+            write: true,
+        };
+        let hot = p.shared_stream_cycles(4 * KB, &[job(0, 0), job(1, 8)]);
+        let hot_traffic = p.take_coherence_traffic().unwrap();
+        let cold = p.shared_stream_cycles(4 * KB, &[job(0, 0), job(1, 1024)]);
+        let cold_traffic = p.take_coherence_traffic().unwrap();
+        assert!(hot[0] > 3.0 * cold[0], "hot {hot:?} vs cold {cold:?}");
+        assert!(hot_traffic.invalidations > cold_traffic.invalidations);
+        assert!(p.coherence_params().is_some());
     }
 
     #[test]

@@ -7,12 +7,13 @@
 
 use crate::cache_detect::{detect_cache_levels, DetectConfig};
 use crate::comm::{characterize_communication, CommConfig};
+use crate::false_sharing::{detect_false_sharing, FalseSharingConfig};
 use crate::mcalibrator::{mcalibrator, McalibratorConfig};
 use crate::mem_overhead::{characterize_memory, MemOverheadConfig};
 use crate::micro::{run_micro_probes, MicroConfig};
 use crate::platform::Platform;
 use crate::profile::MachineProfile;
-use crate::shared_cache::{detect_shared_caches, SharedCacheConfig};
+use crate::shared_cache::{decompose_shared_misses, detect_shared_caches, SharedCacheConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which benchmarks to run and with what parameters.
@@ -41,6 +42,15 @@ pub struct SuiteConfig {
     pub run_micro: bool,
     /// Micro-probe parameters.
     pub micro: MicroConfig,
+    /// Run the false-sharing sweep after every other stage. Off by
+    /// default: it is an extension beyond the paper's published suite and
+    /// needs [`Platform::supports_coherence_probes`]. Older configs
+    /// without the field read as off.
+    #[serde(default)]
+    pub run_false_sharing: bool,
+    /// False-sharing sweep parameters.
+    #[serde(default)]
+    pub false_sharing: FalseSharingConfig,
 }
 
 impl Default for SuiteConfig {
@@ -56,6 +66,8 @@ impl Default for SuiteConfig {
             skip_comm: false,
             run_micro: false,
             micro: MicroConfig::default(),
+            run_false_sharing: false,
+            false_sharing: FalseSharingConfig::default(),
         }
     }
 }
@@ -74,6 +86,8 @@ impl SuiteConfig {
             skip_comm: false,
             run_micro: false,
             micro: MicroConfig::default(),
+            run_false_sharing: false,
+            false_sharing: FalseSharingConfig::default(),
         }
     }
 }
@@ -98,16 +112,22 @@ pub struct SuiteTimings {
     pub memory_overhead_s: f64,
     /// Communication Costs row.
     pub communication_s: f64,
+    /// Time in the optional false-sharing sweep. Zero unless
+    /// [`SuiteConfig::run_false_sharing`] is set; older reports without
+    /// the field read as zero.
+    #[serde(default)]
+    pub false_sharing_s: f64,
 }
 
 impl SuiteTimings {
-    /// Total seconds across every stage, micro probes included.
+    /// Total seconds across every stage, extensions included.
     pub fn total_s(&self) -> f64 {
         self.cache_size_s
             + self.micro_probes_s
             + self.shared_caches_s
             + self.memory_overhead_s
             + self.communication_s
+            + self.false_sharing_s
     }
 }
 
@@ -149,7 +169,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
 
     // Stage 2: shared caches (Fig. 5).
     let stage_span = servet_obs::span("suite.shared_caches");
-    let shared = if config.skip_shared || platform.num_cores() < 2 {
+    let mut shared = if config.skip_shared || platform.num_cores() < 2 {
         None
     } else {
         let sizes: Vec<usize> = cache_levels.iter().map(|c| c.size).collect();
@@ -198,6 +218,22 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     drop(stage_span);
     let t4 = platform.elapsed_seconds();
 
+    // Stage 5: coherence extensions — the false-sharing sweep and the
+    // §III-B miss decomposition. Last, so that platforms with seeded
+    // measurement noise draw for the paper's own stages exactly as they
+    // did before this stage existed.
+    let false_sharing = if config.run_false_sharing && platform.supports_coherence_probes() {
+        let _fs_span = servet_obs::span("suite.false_sharing");
+        if let Some(shared) = shared.as_mut() {
+            let sizes: Vec<usize> = cache_levels.iter().map(|c| c.size).collect();
+            shared.miss_decomposition = decompose_shared_misses(platform, &sizes, &config.shared);
+        }
+        Some(detect_false_sharing(platform, &config.false_sharing))
+    } else {
+        None
+    };
+    let t5 = platform.elapsed_seconds();
+
     SuiteReport {
         profile: MachineProfile {
             schema_version: crate::profile::SCHEMA_VERSION,
@@ -211,6 +247,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
             memory,
             communication,
             micro,
+            false_sharing,
         },
         timings: SuiteTimings {
             cache_size_s: t1 - t0,
@@ -218,6 +255,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
             shared_caches_s,
             memory_overhead_s: t3 - t2,
             communication_s: t4 - t3,
+            false_sharing_s: t5 - t4,
         },
     }
 }
@@ -238,7 +276,8 @@ pub fn run_suite(
 ) -> (SuiteReport, crate::manifest::RunManifest) {
     let scope = servet_obs::RunScope::begin();
     let report = run_full_suite(platform, config);
-    let manifest = crate::manifest::RunManifest::from_scope(&report, config, scope.finish());
+    let mut manifest = crate::manifest::RunManifest::from_scope(&report, config, scope.finish());
+    manifest.coherence = platform.coherence_params();
     (report, manifest)
 }
 
@@ -363,6 +402,10 @@ mod tests {
             "{:?}",
             manifest.counters
         );
+        // Satellite record: the coherence bus latencies travel with the
+        // manifest so a zoo run is reproducible from it alone.
+        assert!(manifest.coherence.is_some());
+        assert_eq!(manifest.coherence, p.coherence_params());
     }
 
     #[test]
@@ -398,6 +441,63 @@ mod tests {
         assert!(report.profile.shared_caches.is_none());
         assert!(report.profile.memory.is_none());
         assert!(report.profile.communication.is_none());
+    }
+
+    #[test]
+    fn false_sharing_stage_fills_the_profile_without_touching_other_stages() {
+        let cfg = SuiteConfig {
+            skip_comm: true,
+            ..SuiteConfig::small(128 * KB)
+        };
+        let without = run_full_suite(&mut SimPlatform::tiny().with_noise(0.003), &cfg);
+        let with_fs = run_full_suite(
+            &mut SimPlatform::tiny().with_noise(0.003),
+            &SuiteConfig {
+                run_false_sharing: true,
+                ..cfg
+            },
+        );
+        assert!(without.profile.false_sharing.is_none());
+        assert_eq!(without.timings.false_sharing_s, 0.0);
+        let fs = with_fs.profile.false_sharing.as_ref().unwrap();
+        assert!(
+            fs.advised_padding.unwrap_or(0) >= 64,
+            "advised padding {:?} below the 64 B line",
+            fs.advised_padding
+        );
+        assert!(with_fs.timings.false_sharing_s > 0.0);
+        // The miss decomposition rides along, one entry per level.
+        let decomp = &with_fs
+            .profile
+            .shared_caches
+            .as_ref()
+            .unwrap()
+            .miss_decomposition;
+        assert_eq!(decomp.len(), with_fs.profile.cache_levels.len());
+        // The coherence stage runs after every paper stage, so their
+        // noisy measurements are identical with and without it.
+        assert_eq!(with_fs.profile.cache_levels, without.profile.cache_levels);
+        assert_eq!(with_fs.profile.mcalibrator, without.profile.mcalibrator);
+        assert_eq!(
+            with_fs.profile.shared_caches.as_ref().unwrap().levels,
+            without.profile.shared_caches.as_ref().unwrap().levels
+        );
+    }
+
+    #[test]
+    fn unicore_machine_skips_the_false_sharing_stage() {
+        let mut p = SimPlatform::athlon3200().with_noise(0.002);
+        let cfg = SuiteConfig {
+            run_false_sharing: true,
+            mcalibrator: McalibratorConfig {
+                max_size: 4 * 1024 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_full_suite(&mut p, &cfg);
+        assert!(report.profile.false_sharing.is_none());
+        assert_eq!(report.timings.false_sharing_s, 0.0);
     }
 
     #[test]

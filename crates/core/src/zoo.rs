@@ -86,6 +86,9 @@ impl ZooConfig {
                     merge_gap: 5,
                     ..crate::cache_detect::DetectConfig::small()
                 },
+                // The coherence extension runs after the paper's stages,
+                // so enabling it cannot move their noise draws.
+                run_false_sharing: true,
                 ..SuiteConfig::small(1024 * KB)
             },
             perturb: PerturbConfig::default(),
@@ -179,6 +182,12 @@ pub struct MachineEval {
     /// The comm stage fell back to the configured probe size because no
     /// cache level was detected.
     pub probe_size_fallback: bool,
+    /// `(true innermost line size, advised padding)` when the
+    /// false-sharing stage ran; the advice is correct when it is at
+    /// least the line size. Absent (and in pre-coherence reports) when
+    /// the stage was off or unsupported.
+    #[serde(default)]
+    pub padding: Option<(usize, Option<usize>)>,
 }
 
 impl MachineEval {
@@ -186,6 +195,13 @@ impl MachineEval {
     pub fn all_sizes_correct(&self) -> bool {
         self.true_levels == self.detected_levels
             && self.level_sizes.iter().all(|(_, t, d)| Some(*t) == *d)
+    }
+
+    /// The advised padding cures false sharing on this machine: at least
+    /// the true line size. `None` when the stage did not run.
+    pub fn padding_correct(&self) -> Option<bool> {
+        self.padding
+            .map(|(line, advised)| advised.is_some_and(|p| p >= line))
     }
 }
 
@@ -212,6 +228,11 @@ pub fn evaluate(spec: &MachineSpec, report: &SuiteReport) -> MachineEval {
             }
         }
     }
+    let padding = profile.false_sharing.as_ref().and_then(|fs| {
+        spec.caches
+            .first()
+            .map(|l1| (l1.line_size, fs.advised_padding))
+    });
     MachineEval {
         true_levels: spec.num_levels(),
         detected_levels: profile.cache_levels.len(),
@@ -221,6 +242,7 @@ pub fn evaluate(spec: &MachineSpec, report: &SuiteReport) -> MachineEval {
             .communication
             .as_ref()
             .is_some_and(|c| c.probe_size_fallback),
+        padding,
     }
 }
 
@@ -259,6 +281,12 @@ pub struct ZooAccuracy {
     /// Runs whose comm stage fell back to the configured probe size —
     /// counted apart so a fallback never masquerades as a detection.
     pub probe_fallbacks: usize,
+    /// Machines whose false-sharing stage ran.
+    #[serde(default)]
+    pub padding_total: usize,
+    /// Machines whose advised padding was at least the true line size.
+    #[serde(default)]
+    pub padding_correct: usize,
 }
 
 impl ZooAccuracy {
@@ -276,6 +304,15 @@ impl ZooAccuracy {
             return 1.0;
         }
         self.sharing_correct as f64 / self.sharing_total as f64
+    }
+
+    /// Fraction of false-sharing stages whose advised padding cures the
+    /// ping-pong (at least the true line size).
+    pub fn padding_accuracy(&self) -> f64 {
+        if self.padding_total == 0 {
+            return 1.0;
+        }
+        self.padding_correct as f64 / self.padding_total as f64
     }
 }
 
@@ -440,16 +477,23 @@ fn aggregate(config: &ZooConfig, per_machine: Vec<MachineRow>) -> ZooReport {
         if eval.probe_size_fallback {
             accuracy.probe_fallbacks += 1;
         }
+        if let Some(correct) = eval.padding_correct() {
+            accuracy.padding_total += 1;
+            if correct {
+                accuracy.padding_correct += 1;
+            }
+        }
     }
 
     type StageTime = fn(&SuiteTimings) -> f64;
     let mut stage_times = BTreeMap::new();
-    let stages: [(&str, StageTime); 5] = [
+    let stages: [(&str, StageTime); 6] = [
         ("cache_size", |t| t.cache_size_s),
         ("micro_probes", |t| t.micro_probes_s),
         ("shared_caches", |t| t.shared_caches_s),
         ("memory_overhead", |t| t.memory_overhead_s),
         ("communication", |t| t.communication_s),
+        ("false_sharing", |t| t.false_sharing_s),
     ];
     for (name, pick) in stages {
         if let Some(stats) =
@@ -558,6 +602,24 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.to_string(), "sink down");
+    }
+
+    #[test]
+    fn false_sharing_advice_is_scored_against_the_true_line_size() {
+        let report = run_zoo(&tiny_zoo(6, 2, 21), |_| Ok(None)).unwrap();
+        assert_eq!(report.accuracy.padding_total, 6);
+        assert_eq!(
+            report.accuracy.padding_correct,
+            6,
+            "{:#?}",
+            report
+                .per_machine
+                .iter()
+                .map(|r| (&r.name, r.eval.padding))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.accuracy.padding_accuracy(), 1.0);
+        assert!(report.stage_times.contains_key("false_sharing"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::cache::{CacheStats, ShardedCache};
 use serde::{Deserialize, Serialize};
 use servet_autotune::collectives::{select_broadcast, BcastPrediction};
 use servet_autotune::concurrency::{advise_memory_threads, ConcurrencyAdvice};
+use servet_autotune::padding::{advise_padding, PaddingAdvice};
 use servet_autotune::tiling::{select_tile, TileChoice};
 use servet_core::profile::MachineProfile;
 
@@ -70,6 +71,8 @@ pub enum AdviceQuery {
         #[serde(default = "default_bytes")]
         bytes: usize,
     },
+    /// Per-thread padding and alignment against false sharing.
+    Padding,
 }
 
 impl AdviceQuery {
@@ -113,6 +116,11 @@ pub enum AdviceOutcome {
         /// Predictions sorted by predicted time.
         predictions: Vec<BcastPrediction>,
     },
+    /// The padding recommendation.
+    Padding {
+        /// Padding, alignment and provenance.
+        advice: PaddingAdvice,
+    },
 }
 
 /// Compute advice directly (no memoization) — the single code path shared
@@ -150,6 +158,9 @@ pub fn compute_advice(
                 predictions: select_broadcast(profile, ranks, bytes),
             })
         }
+        AdviceQuery::Padding => advise_padding(profile)
+            .map(|advice| AdviceOutcome::Padding { advice })
+            .ok_or_else(|| "profile has no false-sharing sweep or line-size probe".to_string()),
     }
 }
 
@@ -321,6 +332,36 @@ mod tests {
         // A different digest must not share entries.
         let (_, cached) = engine.advise("other-digest", &profile, &query);
         assert!(!cached);
+    }
+
+    #[test]
+    fn padding_advice_flows_through_the_engine() {
+        let mut platform = SimPlatform::tiny_cluster().with_noise(0.003);
+        let profile = run_full_suite(
+            &mut platform,
+            &SuiteConfig {
+                run_false_sharing: true,
+                ..SuiteConfig::small(256 * 1024)
+            },
+        )
+        .profile;
+        let outcome = compute_advice(&profile, &AdviceQuery::Padding).unwrap();
+        match outcome {
+            AdviceOutcome::Padding { advice } => {
+                assert!(advice.measured);
+                assert!(advice.pad_bytes >= 64, "{advice:?}");
+            }
+            other => panic!("wrong outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn padding_without_measurements_is_a_clear_error() {
+        let mut profile = measured_profile();
+        profile.false_sharing = None;
+        profile.micro = None;
+        let err = compute_advice(&profile, &AdviceQuery::Padding).unwrap_err();
+        assert!(err.contains("false-sharing"), "{err}");
     }
 
     #[test]

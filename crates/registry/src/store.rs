@@ -232,6 +232,7 @@ mod tests {
             memory: None,
             communication: None,
             micro: None,
+            false_sharing: None,
         }
     }
 

@@ -90,6 +90,21 @@ impl SetAssocCache {
         self.sets[self.set_of(line)].contains(&line)
     }
 
+    /// Remove `line` if resident (a coherence invalidation). Does not
+    /// touch the hit/miss counters: the cost of losing the line shows up
+    /// as a later miss, which is what the coherence-miss classifier
+    /// counts. Returns whether the line was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Drop every line and reset counters.
     pub fn flush(&mut self) {
         for s in &mut self.sets {
@@ -226,6 +241,20 @@ mod tests {
                 assert!(c.probe(l));
             }
         }
+    }
+
+    #[test]
+    fn invalidate_removes_without_counting() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(5);
+        assert!(c.invalidate(5));
+        assert!(!c.contains(5));
+        assert!(!c.invalidate(5));
+        // Counters untouched by invalidation itself.
+        assert_eq!(c.stats(), (0, 0));
+        // The freed way is usable again.
+        c.insert(5);
+        assert!(c.probe(5));
     }
 
     #[test]

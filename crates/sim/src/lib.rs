@@ -13,6 +13,10 @@
 //! * [`presets`] — the paper's four evaluation machines plus small synthetic
 //!   machines for fast tests.
 //! * [`cache`] — set-associative LRU caches.
+//! * [`coherence`] — per-line MESI state machines and a snoop-bus
+//!   transaction model layered over the caches: false sharing,
+//!   invalidation/writeback/intervention traffic, coherence-miss vs
+//!   capacity-miss classification.
 //! * [`vm`] — per-process address spaces with random (Linux-like), colored,
 //!   or contiguous page-frame allocation. Random allocation is what makes
 //!   physically indexed caches *probabilistic*, the effect the paper's
@@ -26,6 +30,7 @@
 //!   system, used by the STREAM-like memory overhead benchmark.
 
 pub mod cache;
+pub mod coherence;
 pub mod machine;
 pub mod membw;
 pub mod perturb;
@@ -35,6 +40,7 @@ pub mod spec;
 pub mod vm;
 
 pub use cache::SetAssocCache;
+pub use coherence::{CoherenceEngine, CoherenceSpec, CoherenceTraffic, MesiState};
 pub use machine::{Machine, SimArray};
 pub use membw::{maxmin_fair, MemorySystem};
 pub use perturb::{perturb, PerturbConfig};

@@ -9,6 +9,7 @@
 //! effect the shared-cache benchmark (paper Fig. 5) measures.
 
 use crate::cache::SetAssocCache;
+use crate::coherence::{CoherenceEngine, CoherenceTraffic};
 use crate::prefetch::StridePrefetcher;
 use crate::spec::{CoreId, Indexing, MachineSpec};
 use crate::vm::AddressSpace;
@@ -16,10 +17,17 @@ use crate::vm::AddressSpace;
 /// A benchmark array: a span of virtual memory in its own address space
 /// (each benchmark process allocates its own array, as in the paper's MPI
 /// implementation).
+///
+/// Arrays allocated with [`Machine::alloc_shared_array`] are *shared*:
+/// several cores may access them concurrently and the MESI coherence
+/// layer (when the machine has one) tracks their lines. Ordinary arrays
+/// are private to one benchmark process and skip coherence bookkeeping
+/// entirely, which keeps the pre-coherence stages bit-identical.
 #[derive(Debug, Clone)]
 pub struct SimArray {
     aspace: AddressSpace,
     len: usize,
+    shared: bool,
 }
 
 impl SimArray {
@@ -37,6 +45,11 @@ impl SimArray {
     pub fn aspace(&self) -> &AddressSpace {
         &self.aspace
     }
+
+    /// Whether the array participates in coherence tracking.
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
 }
 
 /// One traversal job for the lockstep engine.
@@ -48,6 +61,29 @@ pub struct TraversalJob<'a> {
     pub array: &'a SimArray,
     /// Stride in bytes between accesses.
     pub stride: usize,
+}
+
+/// One job of a shared-buffer lockstep traversal: `count` accesses per
+/// pass starting at `offset`, `stride` bytes apart, reading or writing.
+///
+/// Unlike [`TraversalJob`], several [`SharedJob`]s typically target the
+/// *same* [`SimArray`] — this is the engine under the false-sharing
+/// sweep (two cores writing `offset` and `offset + stride` of one line)
+/// and the cache-mediated communication model (§III-D on-chip pairs).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedJob<'a> {
+    /// Core executing the accesses.
+    pub core: CoreId,
+    /// Array being accessed (usually shared with other jobs).
+    pub array: &'a SimArray,
+    /// Byte offset of the first access.
+    pub offset: usize,
+    /// Stride in bytes between accesses.
+    pub stride: usize,
+    /// Accesses per pass.
+    pub count: usize,
+    /// Whether the accesses are stores.
+    pub write: bool,
 }
 
 /// A simulated shared-memory machine.
@@ -68,6 +104,8 @@ pub struct Machine {
     bus_free_at: Vec<f64>,
     /// Bytes per cycle each memory resource can move.
     bus_bytes_per_cycle: Vec<f64>,
+    /// MESI directory + snoop bus, when the spec enables coherence.
+    coherence: Option<CoherenceEngine>,
     next_asid: u64,
     seed: u64,
 }
@@ -120,6 +158,9 @@ impl Machine {
             .map(|r| r.capacity_gbs / spec.clock_ghz)
             .collect();
         let bus_free_at = vec![0.0; spec.memory.resources.len()];
+        let coherence = spec
+            .coherence
+            .map(|c| CoherenceEngine::new(c, spec.num_cores));
         Self {
             spec,
             caches,
@@ -129,6 +170,7 @@ impl Machine {
             bus_of,
             bus_free_at,
             bus_bytes_per_cycle,
+            coherence,
             next_asid: 1,
             seed,
         }
@@ -157,7 +199,19 @@ impl Machine {
         SimArray {
             aspace: AddressSpace::new(asid, len_bytes, self.spec.page_size, policy, self.seed),
             len: len_bytes,
+            shared: false,
         }
+    }
+
+    /// Allocate a *shared* benchmark array: cores accessing it through
+    /// [`Self::traverse_shared`] go through the MESI coherence layer
+    /// (when the machine has one). One address space, so every core sees
+    /// the same virtual addresses — the model of a threads-on-one-node
+    /// probe rather than the paper's process-per-core MPI layout.
+    pub fn alloc_shared_array(&mut self, len_bytes: usize) -> SimArray {
+        let mut arr = self.alloc_array(len_bytes);
+        arr.shared = true;
+        arr
     }
 
     /// Flush every cache, reset prefetchers and bus clocks.
@@ -176,6 +230,21 @@ impl Machine {
         for b in &mut self.bus_free_at {
             *b = 0.0;
         }
+        if let Some(engine) = &mut self.coherence {
+            engine.reset();
+        }
+    }
+
+    /// Snoop-bus traffic accumulated so far; `None` when the spec has no
+    /// coherence layer.
+    pub fn coherence_traffic(&self) -> Option<CoherenceTraffic> {
+        self.coherence.as_ref().map(|e| e.traffic())
+    }
+
+    /// Return the accumulated traffic and zero the counters (directory
+    /// state and the snoop clock are kept). `None` without coherence.
+    pub fn take_coherence_traffic(&mut self) -> Option<CoherenceTraffic> {
+        self.coherence.as_mut().map(|e| e.take_traffic())
     }
 
     /// Line key for `level`: physical caches key on the physical line,
@@ -190,10 +259,20 @@ impl Machine {
         }
     }
 
-    /// Perform one load on `core`, updating cache state; returns
-    /// `(cycles, went_to_memory)`. Bus serialization is handled by the
-    /// caller, which owns the per-core clocks.
-    fn access(&mut self, core: CoreId, aspace: &AddressSpace, vaddr: u64) -> (f64, bool) {
+    /// Perform one access on `core`, updating cache and coherence state;
+    /// returns `(cycles, went_to_memory)`. Memory-bus serialization is
+    /// handled by the caller, which owns the per-core clocks; snoop-bus
+    /// serialization happens here, against `now` (the accessing core's
+    /// virtual clock).
+    fn access(
+        &mut self,
+        core: CoreId,
+        array: &SimArray,
+        vaddr: u64,
+        write: bool,
+        now: f64,
+    ) -> (f64, bool) {
+        let aspace = array.aspace();
         let paddr = aspace.translate(vaddr);
         // Translation first: a TLB miss costs extra regardless of where
         // the data itself is found.
@@ -216,6 +295,42 @@ impl Machine {
                 break;
             }
         }
+        // Coherence, between probe and fill: the directory decides the
+        // transaction cost and which remote copies die. Private arrays
+        // skip this entirely (each benchmark process owns its pages), so
+        // the pre-coherence stages time out bit-identically.
+        let mut coh_extra = 0.0;
+        let mut supplied_by_cache = false;
+        if array.is_shared() && self.coherence.is_some() {
+            let line_shift = self
+                .spec
+                .caches
+                .first()
+                .map_or(6, |c| c.line_size.trailing_zeros());
+            let phys_line = paddr >> line_shift;
+            let outcome = self.coherence.as_mut().expect("checked above").access(
+                core,
+                phys_line,
+                write,
+                hit_level < nlev,
+                now,
+            );
+            coh_extra = outcome.extra_cycles;
+            supplied_by_cache = outcome.supplied_by_cache;
+            // Physically remove invalidated copies from every cache
+            // instance the victims do not share with the writer. The
+            // victims see the same address space (shared array), so the
+            // writer's line keys are theirs too.
+            for &victim in &outcome.invalidate_cores {
+                for li in 0..nlev {
+                    let gv = self.group_of[li][victim];
+                    if gv != self.group_of[li][core] {
+                        let key = self.line_key(li, aspace, vaddr, paddr);
+                        self.caches[li][gv].invalidate(key);
+                    }
+                }
+            }
+        }
         // Fill the line into every level above the hit level.
         for li in 0..hit_level {
             let key = self.line_key(li, aspace, vaddr, paddr);
@@ -223,17 +338,24 @@ impl Machine {
             self.caches[li][g].insert(key);
         }
         if hit_level == nlev {
-            if covered {
-                // The prefetcher already brought the line in; the demand
-                // access costs an L1 hit (memory traffic is not modeled for
-                // prefetches).
+            if covered || supplied_by_cache {
+                // The line arrived without a memory access: prefetched,
+                // or supplied cache-to-cache by the previous owner. The
+                // demand access costs an L1 hit plus any coherence
+                // transactions.
                 let l1 = self.spec.caches.first().map_or(1.0, |c| c.hit_cycles);
-                (l1 + tlb_penalty, false)
+                (l1 + tlb_penalty + coh_extra, false)
             } else {
-                (self.spec.memory.latency_cycles + tlb_penalty, true)
+                (
+                    self.spec.memory.latency_cycles + tlb_penalty + coh_extra,
+                    true,
+                )
             }
         } else {
-            (self.spec.caches[hit_level].hit_cycles + tlb_penalty, false)
+            (
+                self.spec.caches[hit_level].hit_cycles + tlb_penalty + coh_extra,
+                false,
+            )
         }
     }
 
@@ -283,21 +405,46 @@ impl Machine {
         warmup: usize,
         passes: usize,
     ) -> Vec<f64> {
+        let shared: Vec<SharedJob<'_>> = jobs
+            .iter()
+            .map(|j| {
+                assert!(j.stride > 0, "stride must be positive");
+                SharedJob {
+                    core: j.core,
+                    array: j.array,
+                    offset: 0,
+                    stride: j.stride,
+                    count: j.array.len().div_ceil(j.stride).max(1),
+                    write: false,
+                }
+            })
+            .collect();
+        self.traverse_shared(&shared, warmup, passes)
+    }
+
+    /// Run several access streams (reads and/or writes, typically over
+    /// one shared array) concurrently in lockstep. The MESI layer tracks
+    /// every access to a shared array: stores invalidate remote copies,
+    /// ping-ponging lines pay snoop transactions, and the traffic shows
+    /// up in [`Self::coherence_traffic`]. Returns average measured
+    /// cycles per access, per job.
+    pub fn traverse_shared(
+        &mut self,
+        jobs: &[SharedJob<'_>],
+        warmup: usize,
+        passes: usize,
+    ) -> Vec<f64> {
         assert!(!jobs.is_empty());
         assert!(passes > 0, "need at least one measured pass");
         for j in jobs {
             assert!(j.stride > 0, "stride must be positive");
+            assert!(j.count > 0, "need at least one access per pass");
             assert!(j.core < self.spec.num_cores, "core out of range");
+            let span = j.offset + (j.count - 1) * j.stride;
+            assert!(span < j.array.len().max(1), "job walks past its array");
         }
-        let accesses_per_pass: Vec<usize> = jobs
-            .iter()
-            .map(|j| j.array.len().div_ceil(j.stride).max(1))
-            .collect();
-        let total: Vec<usize> = accesses_per_pass
-            .iter()
-            .map(|&a| a * (warmup + passes))
-            .collect();
-        let warm: Vec<usize> = accesses_per_pass.iter().map(|&a| a * warmup).collect();
+        let total: Vec<usize> = jobs.iter().map(|j| j.count * (warmup + passes)).collect();
+        let warm: Vec<usize> = jobs.iter().map(|j| j.count * warmup).collect();
 
         let n = jobs.len();
         let mut clock = vec![0.0f64; n];
@@ -312,9 +459,9 @@ impl Machine {
                 break;
             };
             let job = &jobs[i];
-            let idx = done[i] % accesses_per_pass[i];
-            let vaddr = (idx * job.stride) as u64;
-            let (cost, mem) = self.access(job.core, job.array.aspace(), vaddr);
+            let idx = done[i] % job.count;
+            let vaddr = (job.offset + idx * job.stride) as u64;
+            let (cost, mem) = self.access(job.core, job.array, vaddr, job.write, clock[i]);
             if mem {
                 if let Some(bus) = self.bus_of[job.core] {
                     let transfer = self.line_transfer_cycles(job.core);
@@ -351,7 +498,7 @@ impl Machine {
         let mut clock = 0.0f64;
         let mut bus_free = self.bus_free_at.clone();
         for &vaddr in addrs {
-            let (cost, mem) = self.access(core, array.aspace(), vaddr);
+            let (cost, mem) = self.access(core, array, vaddr, false, clock);
             if mem {
                 if let Some(bus) = self.bus_of[core] {
                     let transfer = self.line_transfer_cycles(core);
@@ -625,6 +772,183 @@ mod tests {
         assert!(
             c_large > b_large + 20.0,
             "TLB penalty missing: {c_large} vs {b_large}"
+        );
+    }
+
+    /// Two cores writing the *same* line of a shared array ping-pong it:
+    /// every store invalidates the other core's Modified copy. Writes a
+    /// full line apart see none of that.
+    #[test]
+    fn false_sharing_ping_pong_costs_and_counts() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_shared_array(4 * KB);
+        let line = m.spec().caches[0].line_size;
+        let job = |core, offset| SharedJob {
+            core,
+            array: &arr,
+            offset,
+            stride: line,
+            count: 8,
+            write: true,
+        };
+        m.reset();
+        let same_line = m.traverse_shared(&[job(0, 0), job(1, 8)], 1, 4);
+        let t_shared = m.coherence_traffic().unwrap();
+        m.reset();
+        let padded = m.traverse_shared(&[job(0, 0), job(1, 8 * line)], 1, 4);
+        let t_padded = m.coherence_traffic().unwrap();
+        assert!(
+            same_line[0] > 4.0 * padded[0],
+            "no ping-pong visible: {same_line:?} vs {padded:?}"
+        );
+        assert!(t_shared.invalidations > 0, "{t_shared:?}");
+        assert!(t_shared.writebacks > 0, "{t_shared:?}");
+        assert!(t_shared.coherence_misses > 0, "{t_shared:?}");
+        // Disjoint lines: each core keeps its lines Modified after the
+        // first exchange-free claim.
+        assert_eq!(t_padded.coherence_misses, 0, "{t_padded:?}");
+    }
+
+    /// A handoff (one core writes, the other reads the same lines) is
+    /// served cache-to-cache: interventions, not memory traffic.
+    #[test]
+    fn producer_consumer_handoff_uses_interventions() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_shared_array(4 * KB);
+        let line = m.spec().caches[0].line_size;
+        m.reset();
+        m.traverse_shared(
+            &[
+                SharedJob {
+                    core: 0,
+                    array: &arr,
+                    offset: 0,
+                    stride: line,
+                    count: 16,
+                    write: true,
+                },
+                SharedJob {
+                    core: 1,
+                    array: &arr,
+                    offset: 0,
+                    stride: line,
+                    count: 16,
+                    write: false,
+                },
+            ],
+            1,
+            4,
+        );
+        let t = m.coherence_traffic().unwrap();
+        assert!(t.interventions > 0, "{t:?}");
+        assert!(t.writebacks > 0, "{t:?}");
+    }
+
+    /// Private arrays never touch the directory: read-only suite stages
+    /// are bit-identical with and without the coherence layer.
+    #[test]
+    fn coherence_layer_leaves_private_traversals_untouched() {
+        let with = presets::tiny_smp();
+        let mut without = presets::tiny_smp();
+        without.coherence = None;
+        let run = |spec: MachineSpec| {
+            let mut m = Machine::with_seed(spec, 77);
+            let a = m.alloc_array(96 * KB);
+            let b = m.alloc_array(96 * KB);
+            m.reset();
+            m.traverse_concurrent(
+                &[
+                    TraversalJob {
+                        core: 0,
+                        array: &a,
+                        stride: KB,
+                    },
+                    TraversalJob {
+                        core: 1,
+                        array: &b,
+                        stride: KB,
+                    },
+                ],
+                1,
+                2,
+            )
+        };
+        assert_eq!(run(with.clone()), run(without));
+        let mut m = Machine::new(with);
+        let a = m.alloc_array(32 * KB);
+        m.traverse(0, &a, KB, 1, 2);
+        assert_eq!(
+            m.coherence_traffic().unwrap(),
+            crate::coherence::CoherenceTraffic::default()
+        );
+    }
+
+    /// Traffic counters are a pure function of the access sequence:
+    /// bit-identical across fresh runs with the same seed.
+    #[test]
+    fn coherence_traffic_is_deterministic() {
+        let run = || {
+            let mut m = Machine::with_seed(presets::tiny_shared_l2(), 9);
+            let arr = m.alloc_shared_array(8 * KB);
+            m.reset();
+            let cycles = m.traverse_shared(
+                &[
+                    SharedJob {
+                        core: 0,
+                        array: &arr,
+                        offset: 0,
+                        stride: 64,
+                        count: 32,
+                        write: true,
+                    },
+                    SharedJob {
+                        core: 2,
+                        array: &arr,
+                        offset: 16,
+                        stride: 64,
+                        count: 32,
+                        write: true,
+                    },
+                ],
+                1,
+                3,
+            );
+            (cycles, m.coherence_traffic().unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn take_coherence_traffic_drains() {
+        let mut m = Machine::new(presets::tiny_smp());
+        let arr = m.alloc_shared_array(KB);
+        m.traverse_shared(
+            &[
+                SharedJob {
+                    core: 0,
+                    array: &arr,
+                    offset: 0,
+                    stride: 64,
+                    count: 4,
+                    write: true,
+                },
+                SharedJob {
+                    core: 1,
+                    array: &arr,
+                    offset: 0,
+                    stride: 64,
+                    count: 4,
+                    write: true,
+                },
+            ],
+            0,
+            2,
+        );
+        let t = m.take_coherence_traffic().unwrap();
+        assert!(t.transactions() > 0);
+        assert_eq!(
+            m.coherence_traffic().unwrap(),
+            crate::coherence::CoherenceTraffic::default()
         );
     }
 

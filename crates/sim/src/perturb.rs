@@ -35,6 +35,10 @@ pub struct PerturbConfig {
     pub latency_scale: (f64, f64),
     /// Multiplicative range applied to the core clock.
     pub clock_scale: (f64, f64),
+    /// Multiplicative range applied to every coherence transaction
+    /// latency (one draw scales the whole snoop path, so fast and slow
+    /// coherence fabrics both appear in the population).
+    pub coherence_scale: (f64, f64),
 }
 
 impl Default for PerturbConfig {
@@ -46,7 +50,23 @@ impl Default for PerturbConfig {
             bus_scale: (0.7, 1.4),
             latency_scale: (0.8, 1.3),
             clock_scale: (0.8, 1.25),
+            coherence_scale: (0.7, 1.5),
         }
+    }
+}
+
+/// Draw a multiplier from `range`, tolerating degenerate ranges: a
+/// zero-width range (`lo == hi`) is a fixed scale, not a panic —
+/// `(1.0, 1.0)` is how a knob is disabled.
+fn scaled(rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)) -> f64 {
+    assert!(
+        lo <= hi && lo > 0.0,
+        "scale range ({lo}, {hi}) must be positive and ordered"
+    );
+    if lo < hi {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
     }
 }
 
@@ -58,9 +78,7 @@ pub fn perturb(base: &MachineSpec, seed: u64, config: &PerturbConfig) -> Machine
     let mut spec = base.clone();
     spec.name = format!("{}-z{seed:016x}", base.name);
 
-    if config.clock_scale.0 < config.clock_scale.1 {
-        spec.clock_ghz *= rng.gen_range(config.clock_scale.0..config.clock_scale.1);
-    }
+    spec.clock_ghz *= scaled(&mut rng, config.clock_scale);
 
     let mut prev_size = 0usize;
     for cache in &mut spec.caches {
@@ -114,9 +132,21 @@ pub fn perturb(base: &MachineSpec, seed: u64, config: &PerturbConfig) -> Machine
     }
 
     for resource in &mut spec.memory.resources {
-        resource.capacity_gbs *= rng.gen_range(config.bus_scale.0..config.bus_scale.1);
+        resource.capacity_gbs *= scaled(&mut rng, config.bus_scale);
     }
-    spec.memory.latency_cycles *= rng.gen_range(config.latency_scale.0..config.latency_scale.1);
+    spec.memory.latency_cycles *= scaled(&mut rng, config.latency_scale);
+
+    // The coherence draw comes last so that enabling it never moves the
+    // cache-geometry draws of an existing seed (the zoo's ground truths
+    // stay put).
+    if let Some(coherence) = &mut spec.coherence {
+        let s = scaled(&mut rng, config.coherence_scale);
+        coherence.invalidate_cycles *= s;
+        coherence.writeback_cycles *= s;
+        coherence.intervention_cycles *= s;
+        coherence.upgrade_cycles *= s;
+        coherence.bus_occupancy_cycles *= s;
+    }
 
     debug_assert!(
         spec.validate().is_ok(),
@@ -214,6 +244,104 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The fully-disabled config is the identity (up to the zoo name
+    /// tag): zero-width scale ranges are fixed scales, not panics.
+    #[test]
+    fn zero_noise_config_is_the_identity() {
+        let config = PerturbConfig {
+            vary_sizes: false,
+            vary_associativity: false,
+            vary_sharing: false,
+            bus_scale: (1.0, 1.0),
+            latency_scale: (1.0, 1.0),
+            clock_scale: (1.0, 1.0),
+            coherence_scale: (1.0, 1.0),
+        };
+        for base in [presets::tiny_smp(), presets::dunnington()] {
+            for seed in [0, 7, 42] {
+                let mut spec = perturb(&base, seed, &config);
+                spec.name = base.name.clone();
+                assert_eq!(spec, base, "seed {seed} was not an identity");
+            }
+        }
+    }
+
+    /// Extreme scale ranges may not break spec invariants: everything
+    /// stays finite, positive and valid.
+    #[test]
+    fn extreme_noise_stays_clamped_and_valid() {
+        let config = PerturbConfig {
+            bus_scale: (0.001, 1000.0),
+            latency_scale: (0.001, 1000.0),
+            clock_scale: (0.001, 1000.0),
+            coherence_scale: (0.001, 1000.0),
+            ..PerturbConfig::default()
+        };
+        for seed in 0..32 {
+            let spec = perturb(&presets::tiny_shared_l2(), seed, &config);
+            spec.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(spec.clock_ghz.is_finite() && spec.clock_ghz > 0.0);
+            assert!(spec.memory.latency_cycles.is_finite());
+            let c = spec.coherence.expect("base has coherence");
+            assert!(c.writeback_cycles.is_finite() && c.writeback_cycles > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive and ordered")]
+    fn inverted_scale_range_panics() {
+        let config = PerturbConfig {
+            clock_scale: (2.0, 1.0),
+            ..PerturbConfig::default()
+        };
+        perturb(&presets::tiny_smp(), 1, &config);
+    }
+
+    /// Round-trip stability: re-perturbing with the same seed is stable
+    /// across configs (not just the default), including ones that
+    /// disable individual knobs — the property zoo resume relies on.
+    #[test]
+    fn seed_stability_round_trips() {
+        let configs = [
+            PerturbConfig::default(),
+            PerturbConfig {
+                vary_sharing: false,
+                ..PerturbConfig::default()
+            },
+            PerturbConfig {
+                coherence_scale: (1.0, 1.0),
+                ..PerturbConfig::default()
+            },
+        ];
+        for base in [presets::tiny_numa(), presets::finis_terrae_node()] {
+            for config in &configs {
+                for seed in 0..16 {
+                    let a = perturb(&base, seed, config);
+                    let b = perturb(&base, seed, config);
+                    assert_eq!(a, b, "seed {seed} diverged");
+                }
+            }
+        }
+    }
+
+    /// The population explores the coherence-latency space.
+    #[test]
+    fn coherence_latencies_vary_across_seeds() {
+        let base = presets::tiny_smp();
+        let config = PerturbConfig::default();
+        let distinct: std::collections::BTreeSet<u64> = (0..16)
+            .map(|seed| {
+                perturb(&base, seed, &config)
+                    .coherence
+                    .expect("base has coherence")
+                    .writeback_cycles
+                    .to_bits()
+            })
+            .collect();
+        assert!(distinct.len() >= 8, "coherence never varied: {distinct:?}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! consume *relative* shapes (plateaus, ratios, transitions), as the paper
 //! itself stresses by normalizing miss rates in Fig. 3.
 
+use crate::coherence::CoherenceSpec;
 use crate::spec::{
     CacheLevelSpec, CoreId, Indexing, MachineSpec, MemResource, MemorySpec, PageAllocPolicy,
     TlbSpec,
@@ -96,6 +97,15 @@ pub fn dunnington() -> MachineSpec {
         page_alloc: PageAllocPolicy::Random,
         prefetch_max_stride: 512,
         tlb: None,
+        // FSB-snooped MESI: invalidations and interventions cross the
+        // same front-side bus as memory traffic, so they are slow.
+        coherence: Some(CoherenceSpec {
+            invalidate_cycles: 20.0,
+            writeback_cycles: 60.0,
+            intervention_cycles: 40.0,
+            upgrade_cycles: 16.0,
+            bus_occupancy_cycles: 6.0,
+        }),
     }
 }
 
@@ -167,6 +177,15 @@ pub fn finis_terrae_node() -> MachineSpec {
         page_alloc: PageAllocPolicy::Random,
         prefetch_max_stride: 512,
         tlb: None,
+        // Cell-crossing snoops on the Itanium2 cells are the slowest of
+        // the paper's machines.
+        coherence: Some(CoherenceSpec {
+            invalidate_cycles: 30.0,
+            writeback_cycles: 90.0,
+            intervention_cycles: 60.0,
+            upgrade_cycles: 24.0,
+            bus_occupancy_cycles: 8.0,
+        }),
     }
 }
 
@@ -216,6 +235,13 @@ pub fn dempsey() -> MachineSpec {
         page_alloc: PageAllocPolicy::Random,
         prefetch_max_stride: 512,
         tlb: None,
+        coherence: Some(CoherenceSpec {
+            invalidate_cycles: 25.0,
+            writeback_cycles: 80.0,
+            intervention_cycles: 55.0,
+            upgrade_cycles: 20.0,
+            bus_occupancy_cycles: 6.0,
+        }),
     }
 }
 
@@ -258,6 +284,9 @@ pub fn athlon3200() -> MachineSpec {
         page_alloc: PageAllocPolicy::Random,
         prefetch_max_stride: 512,
         tlb: None,
+        // A single core has no one to snoop, but keeping the parameters
+        // set exercises the no-sharer fast paths.
+        coherence: Some(CoherenceSpec::default()),
     }
 }
 
@@ -307,6 +336,7 @@ pub fn tiny_smp() -> MachineSpec {
         page_alloc: PageAllocPolicy::Random,
         prefetch_max_stride: 512,
         tlb: None,
+        coherence: Some(CoherenceSpec::default()),
     }
 }
 

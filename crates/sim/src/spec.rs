@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::coherence::CoherenceSpec;
+
 /// Index of a logical core as numbered by the (simulated) OS.
 pub type CoreId = usize;
 
@@ -148,6 +150,12 @@ pub struct MachineSpec {
     /// Optional data TLB (see [`TlbSpec`]).
     #[serde(default)]
     pub tlb: Option<TlbSpec>,
+    /// Optional MESI coherence layer: snoop-bus transaction latencies.
+    /// `None` disables coherence modeling entirely (the pre-coherence
+    /// behavior); machines with it set still time read-only workloads
+    /// identically, since clean sharing issues no transactions.
+    #[serde(default)]
+    pub coherence: Option<CoherenceSpec>,
 }
 
 impl MachineSpec {
@@ -214,6 +222,15 @@ impl MachineSpec {
         if let Some(tlb) = &self.tlb {
             if tlb.entries == 0 {
                 return Err("TLB with zero entries".into());
+            }
+        }
+        if let Some(coherence) = &self.coherence {
+            coherence.validate()?;
+            if self.num_cores > 64 {
+                return Err(format!(
+                    "coherence directory supports at most 64 cores, machine has {}",
+                    self.num_cores
+                ));
             }
         }
         for r in &self.memory.resources {
@@ -386,6 +403,30 @@ mod tests {
         let d = presets::dunnington();
         let s = d.cycles_to_seconds(2.4e9);
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_coherence() {
+        let mut spec = presets::tiny_smp();
+        let mut c = spec.coherence.expect("preset has coherence");
+        c.upgrade_cycles = f64::INFINITY;
+        spec.coherence = Some(c);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn every_preset_has_coherence_parameters() {
+        for spec in [
+            presets::dunnington(),
+            presets::finis_terrae_node(),
+            presets::dempsey(),
+            presets::athlon3200(),
+            presets::tiny_smp(),
+            presets::tiny_shared_l2(),
+            presets::tiny_numa(),
+        ] {
+            assert!(spec.coherence.is_some(), "{} lacks coherence", spec.name);
+        }
     }
 
     #[test]

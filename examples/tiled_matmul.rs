@@ -32,6 +32,7 @@ fn main() {
         memory: None,
         communication: None,
         micro: None,
+        false_sharing: None,
     };
     for l in &profile.cache_levels {
         println!("  L{}: {} KB", l.level, l.size / 1024);

@@ -76,19 +76,21 @@ fn print_help() {
         "servet — measure the hardware parameters autotuned codes need\n\
          \n\
          USAGE:\n\
-         \x20 servet simulate <machine> [--micro] [--out FILE]   run the suite on a simulated preset\n\
+         \x20 servet simulate <machine> [--micro] [--false-sharing] [--out FILE]\n\
+         \x20                                                    run the suite on a simulated preset\n\
          \x20 servet suite [machine] [--out FILE]                like simulate; defaults to 'tiny'\n\
          \x20 servet probe [--max-mb N] [--micro] [--out FILE]   run the suite on this machine\n\
          \x20 servet show <profile.json>                         summarize a stored profile\n\
          \x20 servet advise threads --profile FILE [--tolerance T] [--json]\n\
          \x20 servet advise tile --profile FILE [--level L] [--json]\n\
          \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B] [--json]\n\
+         \x20 servet advise padding --profile FILE [--json]\n\
          \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] [--workers N] [--backlog N]\n\
          \x20                                                    run the profile registry daemon\n\
          \x20 servet query put --profile FILE [--name NAME] [--addr A]\n\
          \x20 servet query get --key KEY [--json] [--addr A]\n\
          \x20 servet query list [--json] [--addr A]\n\
-         \x20 servet query advise <threads|tile|bcast> --key KEY [flags] [--json] [--addr A]\n\
+         \x20 servet query advise <threads|tile|bcast|padding> --key KEY [flags] [--json] [--addr A]\n\
          \x20 servet query stats [--json] [--addr A]\n\
          \x20 servet zoo [--machines N] [--workers N] [--seed S] [--out FILE]\n\
          \x20            [--addr HOST:PORT | --dir DIR | --no-stream]\n\
@@ -155,7 +157,7 @@ fn run_and_save(platform: &mut dyn Platform, config: &SuiteConfig, out: Option<&
 
 fn cmd_simulate(args: &[String]) -> i32 {
     let Some(machine) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: servet simulate <machine> [--micro] [--out FILE]");
+        eprintln!("usage: servet simulate <machine> [--micro] [--false-sharing] [--out FILE]");
         return 2;
     };
     let (mut platform, mut config) = match machine.as_str() {
@@ -170,6 +172,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     config.run_micro = has_flag(args, "--micro");
+    config.run_false_sharing = has_flag(args, "--false-sharing");
     run_and_save(&mut platform, &config, flag_value(args, "--out"))
 }
 
@@ -201,6 +204,7 @@ fn cmd_probe(args: &[String]) -> i32 {
             ..Default::default()
         },
         run_micro: has_flag(args, "--micro"),
+        run_false_sharing: has_flag(args, "--false-sharing"),
         ..Default::default()
     };
     run_and_save(&mut platform, &config, flag_value(args, "--out"))
@@ -261,8 +265,9 @@ fn parse_advice_query(what: &str, args: &[String]) -> Result<AdviceQuery, String
             ranks: num("--ranks", 0),
             bytes: num("--bytes", 32 * 1024),
         }),
+        "padding" => Ok(AdviceQuery::Padding),
         other => Err(format!(
-            "unknown advice '{other}'; use threads | tile | bcast"
+            "unknown advice '{other}'; use threads | tile | bcast | padding"
         )),
     }
 }
@@ -303,6 +308,23 @@ fn print_outcome(outcome: &AdviceOutcome) {
                 println!("  {:>12}: {:>9.1} us", p.algorithm.name(), p.predicted_us);
             }
         }
+        AdviceOutcome::Padding { advice } => {
+            let source = if advice.measured {
+                "measured false-sharing sweep"
+            } else {
+                "micro-probe line size"
+            };
+            println!(
+                "pad per-thread data to {} B, align to {} B ({source})",
+                advice.pad_bytes, advice.align_bytes
+            );
+            if let Some(r) = advice.worst_ratio {
+                println!("  unpadded writers were {r:.1}x slower in the sweep");
+            }
+            if let Some(c) = advice.handoff_cycles_per_line {
+                println!("  on-chip handoff: {c:.0} cycles per line");
+            }
+        }
     }
 }
 
@@ -319,7 +341,7 @@ fn emit_outcome(outcome: &AdviceOutcome, json: bool) {
 
 fn cmd_advise(args: &[String]) -> i32 {
     let Some(what) = args.first() else {
-        eprintln!("usage: servet advise <threads|tile|bcast> --profile FILE [--json]");
+        eprintln!("usage: servet advise <threads|tile|bcast|padding> --profile FILE [--json]");
         return 2;
     };
     let rest = &args[1..];
@@ -497,7 +519,9 @@ fn cmd_query(args: &[String]) -> i32 {
         }
         "advise" => {
             let Some(kind) = rest.first() else {
-                eprintln!("usage: servet query advise <threads|tile|bcast> --key KEY [flags]");
+                eprintln!(
+                    "usage: servet query advise <threads|tile|bcast|padding> --key KEY [flags]"
+                );
                 return 2;
             };
             let flags = &rest[1..];
@@ -715,6 +739,14 @@ fn cmd_zoo(args: &[String]) -> i32 {
         acc.sharing_total,
         100.0 * acc.sharing_accuracy()
     );
+    if acc.padding_total > 0 {
+        println!(
+            "padding advice:       {}/{} machines advised >= their line size ({:.1}%)",
+            acc.padding_correct,
+            acc.padding_total,
+            100.0 * acc.padding_accuracy()
+        );
+    }
     println!(
         "comm probe-size fallbacks (no cache detected): {}",
         acc.probe_fallbacks
@@ -784,6 +816,18 @@ fn print_profile(profile: &MachineProfile) {
         }
         if let Some(entries) = micro.tlb_entries {
             println!("  data TLB: >= {entries} entries");
+        }
+    }
+    if let Some(fs) = &profile.false_sharing {
+        match fs.advised_padding {
+            Some(pad) => println!("false sharing: pad per-thread data to {pad} B"),
+            None => println!("false sharing: no quiet stride found in the sweep"),
+        }
+        if let Some(model) = &fs.comm_model {
+            println!(
+                "  on-chip handoff: {:.0} cycles per {} B line",
+                model.per_line_cycles, model.line_bytes
+            );
         }
     }
     if let Some(memory) = &profile.memory {

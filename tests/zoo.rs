@@ -72,6 +72,22 @@ fn sixty_four_machine_zoo_hits_the_accuracy_bar() {
     // Stage timings aggregate only stages that actually ran.
     assert!(report.stage_times.contains_key("cache_size"));
     assert!(!report.stage_times.contains_key("memory_overhead"));
+    // The false-sharing stage runs zoo-wide: every machine is scored,
+    // and the advised padding covers the machine's true line size even
+    // under coherence-latency perturbation (the classification counts
+    // MESI invalidations, which noise and latency scaling cannot move).
+    assert_eq!(
+        acc.padding_total, 64,
+        "false-sharing stage skipped machines"
+    );
+    assert!(
+        acc.padding_accuracy() >= 0.95,
+        "padding advice accuracy {:.3} below the 0.95 bar ({} of {})",
+        acc.padding_accuracy(),
+        acc.padding_correct,
+        acc.padding_total
+    );
+    assert!(report.stage_times.contains_key("false_sharing"));
 }
 
 /// The sink the `servet zoo` CLI uses, reduced to its essentials: each
