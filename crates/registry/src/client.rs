@@ -6,10 +6,11 @@
 //! request at a time, and surfaces every failure to the caller.
 //! [`RetryingRegistryClient`] wraps it for unattended callers (the zoo
 //! driver streaming hundreds of profiles): it reconnects and retries
-//! with exponential backoff when the server is overloaded — the typed
-//! `busy:` rejection of [`crate::protocol::busy_response`] — or the
-//! connection drops mid-flight, while still failing fast on errors a
-//! retry cannot cure (a malformed request, an unknown profile key).
+//! with decorrelated-jitter backoff ([`Backoff`]) when the server is
+//! overloaded — the typed `busy:` rejection of
+//! [`crate::protocol::busy_response`] — or the connection drops
+//! mid-flight, while still failing fast on errors a retry cannot cure
+//! (a malformed request, an unknown profile key).
 
 use crate::advice::{AdviceOutcome, AdviceQuery};
 use crate::protocol::{is_busy_error, read_message, write_message, Request, Response};
@@ -173,10 +174,21 @@ pub struct RetryPolicy {
     pub attempts: usize,
     /// Sleep before the second attempt.
     pub initial_backoff: Duration,
-    /// Backoff growth factor per further attempt.
+    /// Backoff growth factor per further attempt (jitter off only).
     pub multiplier: f64,
     /// Backoff ceiling.
     pub max_backoff: Duration,
+    /// Decorrelate retry sleeps: after the first, each sleep is drawn
+    /// uniformly from `[initial_backoff, 3 × previous]` (capped at
+    /// `max_backoff`) instead of following the deterministic
+    /// exponential ramp. A fleet of clients rejected together then
+    /// *returns* spread out instead of as a synchronized thundering
+    /// herd — the difference between one `busy:` storm and many.
+    pub jitter: bool,
+    /// Seed for the jitter stream. The sequence is a pure function of
+    /// the seed, so tests are deterministic; fleet drivers (`servet
+    /// zoo`) seed each worker differently to actually decorrelate.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -186,15 +198,88 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_millis(10),
             multiplier: 2.0,
             max_backoff: Duration::from_millis(500),
+            jitter: true,
+            jitter_seed: 0,
         }
     }
 }
 
 impl RetryPolicy {
-    fn next_backoff(&self, current: Duration) -> Duration {
+    /// One step of the jitter-free exponential ramp (the `jitter:
+    /// false` schedule): `min(max_backoff, current × multiplier)`.
+    pub fn next_backoff(&self, current: Duration) -> Duration {
         current
             .mul_f64(self.multiplier.max(1.0))
             .min(self.max_backoff)
+    }
+
+    /// The sleep sequence for one operation's retries, seeded from
+    /// [`RetryPolicy::jitter_seed`].
+    pub fn backoff(&self) -> Backoff {
+        Backoff::seeded(self, self.jitter_seed)
+    }
+}
+
+/// One step of the splitmix64 generator — tiny, seedable, and plenty
+/// for spreading sleeps (this is not cryptography).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The materialized sleep sequence of a [`RetryPolicy`]: plain
+/// exponential when jitter is off, decorrelated jitter
+/// (`min(cap, uniform(base, 3 × previous))`) when on. The first delay
+/// is always exactly `initial_backoff`.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    multiplier: f64,
+    jitter: bool,
+    prev: Option<Duration>,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A sequence for `policy` drawing jitter from `seed` (overriding
+    /// [`RetryPolicy::jitter_seed`]).
+    pub fn seeded(policy: &RetryPolicy, seed: u64) -> Self {
+        Self {
+            base: policy.initial_backoff,
+            cap: policy.max_backoff.max(policy.initial_backoff),
+            multiplier: policy.multiplier,
+            jitter: policy.jitter,
+            prev: None,
+            rng: seed,
+        }
+    }
+
+    /// The next sleep. Always within
+    /// `[initial_backoff, max_backoff]`.
+    pub fn next_delay(&mut self) -> Duration {
+        let next = match self.prev {
+            None => self.base,
+            Some(prev) if !self.jitter => prev.mul_f64(self.multiplier.max(1.0)).min(self.cap),
+            Some(prev) => {
+                let lo = self.base.as_nanos().min(u64::MAX as u128) as u64;
+                let hi = (prev.as_nanos().min(u64::MAX as u128) as u64)
+                    .saturating_mul(3)
+                    .max(lo);
+                let span = hi - lo;
+                let draw = if span == 0 {
+                    lo
+                } else {
+                    lo + splitmix64(&mut self.rng) % (span + 1)
+                };
+                Duration::from_nanos(draw).min(self.cap)
+            }
+        };
+        self.prev = Some(next);
+        next
     }
 }
 
@@ -211,16 +296,22 @@ pub struct RetryingRegistryClient {
     addr: SocketAddr,
     policy: RetryPolicy,
     conn: Option<RegistryClient>,
+    /// Rolling jitter state: each operation derives a fresh backoff
+    /// stream from it, so retries of successive operations do not
+    /// repeat one another's sleeps.
+    rng: u64,
 }
 
 impl RetryingRegistryClient {
     /// A retrying client for the server at `addr` (not contacted until
     /// the first operation).
     pub fn new(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        let rng = policy.jitter_seed;
         Self {
             addr,
             policy,
             conn: None,
+            rng,
         }
     }
 
@@ -238,12 +329,11 @@ impl RetryingRegistryClient {
         &mut self,
         mut op: impl FnMut(&mut RegistryClient) -> io::Result<T>,
     ) -> io::Result<T> {
-        let mut backoff = self.policy.initial_backoff;
+        let mut backoff = Backoff::seeded(&self.policy, splitmix64(&mut self.rng));
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.policy.attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = self.policy.next_backoff(backoff);
+                std::thread::sleep(backoff.next_delay());
                 servet_obs::counter("registry.client.retries").incr();
             }
             let conn = match self.conn.as_mut() {
@@ -363,6 +453,7 @@ mod tests {
                 initial_backoff: Duration::from_millis(1),
                 multiplier: 2.0,
                 max_backoff: Duration::from_millis(4),
+                ..RetryPolicy::default()
             },
         );
         let err = client.list().unwrap_err();
@@ -379,6 +470,8 @@ mod tests {
             initial_backoff: Duration::from_millis(10),
             multiplier: 3.0,
             max_backoff: Duration::from_millis(50),
+            jitter: false,
+            ..RetryPolicy::default()
         };
         let b1 = policy.next_backoff(Duration::from_millis(10));
         assert_eq!(b1, Duration::from_millis(30));
@@ -387,5 +480,47 @@ mod tests {
             policy.next_backoff(Duration::from_millis(50)),
             Duration::from_millis(50)
         );
+        // The jitter-free Backoff sequence is the same ramp.
+        let mut seq = policy.backoff();
+        assert_eq!(seq.next_delay(), Duration::from_millis(10));
+        assert_eq!(seq.next_delay(), Duration::from_millis(30));
+        assert_eq!(seq.next_delay(), Duration::from_millis(50));
+        assert_eq!(seq.next_delay(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_and_stays_in_envelope() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(400),
+            jitter: true,
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut seq = Backoff::seeded(&policy, seed);
+            (0..12).map(|_| seq.next_delay()).collect()
+        };
+        // Deterministic: the sequence is a pure function of the seed.
+        assert_eq!(draw(42), draw(42));
+        // The first delay is the floor exactly; every later one obeys
+        // the decorrelated-jitter envelope
+        // [base, min(cap, 3 × previous)].
+        let delays = draw(42);
+        assert_eq!(delays[0], policy.initial_backoff);
+        for pair in delays.windows(2) {
+            let envelope = (pair[0] * 3).min(policy.max_backoff);
+            assert!(
+                pair[1] >= policy.initial_backoff
+                    && pair[1] <= envelope.max(policy.initial_backoff),
+                "delay {:?} escaped [{:?}, {:?}]",
+                pair[1],
+                policy.initial_backoff,
+                envelope
+            );
+        }
+        // Different seeds decorrelate (the whole point): two workers
+        // must not sleep in lockstep.
+        assert_ne!(draw(42), draw(43), "seeds 42/43 drew identical sleeps");
     }
 }

@@ -18,12 +18,21 @@
 //! * [`registry`] — store + caches behind a single request dispatch.
 //! * [`protocol`] — the newline-delimited JSON wire types (documented in
 //!   `DESIGN.md`).
-//! * [`server`] / [`client`] — a TCP server running a fixed-size worker
-//!   pool over a bounded accept queue (per-connection read timeouts,
-//!   a typed `busy:` rejection on overload, graceful shutdown), the
-//!   blocking client used by `servet query`, and the reconnecting
-//!   [`client::RetryingRegistryClient`] that `servet zoo` streams
-//!   profiles through.
+//! * [`poll`] / [`timer`] / [`conn`] — the std-only event-loop
+//!   substrate: a readiness [`poll::Poller`] (raw-syscall epoll with
+//!   `poll(2)` and scan fallbacks), a hashed [`timer::TimerWheel`] of
+//!   idle deadlines, and the per-connection [`conn::Conn`] state
+//!   machine that buffers partial NDJSON lines across readiness
+//!   events.
+//! * [`server`] / [`client`] — an event-driven TCP server: one loop
+//!   thread multiplexes every connection (10k+ sockets, `workers + 1`
+//!   threads total) and feeds parsed request lines to a fixed worker
+//!   pool over a bounded queue (idle deadlines, a typed `busy:`
+//!   rejection on overload at both admission and execution,
+//!   drain-deadline shutdown); plus the blocking client used by
+//!   `servet query`, and the reconnecting
+//!   [`client::RetryingRegistryClient`] (decorrelated-jitter backoff)
+//!   that `servet zoo` streams profiles through.
 //!
 //! Request handling is instrumented with per-operation latency histograms
 //! (`servet-obs`), surfaced through the `stats` protocol command — see
@@ -46,22 +55,27 @@
 pub mod advice;
 pub mod cache;
 pub mod client;
+pub mod conn;
 pub mod digest;
+pub mod loadgen;
+pub mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod store;
+pub mod timer;
 
 pub use advice::{compute_advice, AdviceEngine, AdviceOutcome, AdviceQuery};
 pub use cache::{CacheStats, ShardedCache};
 pub use client::{
-    is_retryable, is_server_busy, RegistryClient, RetryPolicy, RetryingRegistryClient,
+    is_retryable, is_server_busy, Backoff, RegistryClient, RetryPolicy, RetryingRegistryClient,
 };
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{
-    busy_response, is_busy_error, AcceptStats, OpLatency, Request, Response, ServerStats,
-    BUSY_PREFIX,
+    busy_response, is_busy_error, AcceptStats, EventStats, OpLatency, Request, Response,
+    ServerStats, BUSY_PREFIX,
 };
-pub use registry::{AcceptCounters, Registry};
+pub use registry::{AcceptCounters, EventCounters, Registry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};
 

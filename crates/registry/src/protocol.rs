@@ -34,6 +34,14 @@ pub fn is_busy_error(error: &str) -> bool {
     error.starts_with(BUSY_PREFIX)
 }
 
+/// Whether a raw, still-unparsed reply line carries the server-busy
+/// rejection. A string-level match on the error field: busy lines are
+/// hand-built by the server (never routed through the JSON encoder), so
+/// transports can classify a rejection before — or without — parsing.
+pub fn is_busy_line(line: &str) -> bool {
+    line.contains("\"error\":\"busy:")
+}
+
 /// A client request, one JSON object per line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "cmd", rename_all = "snake_case")]
@@ -88,6 +96,10 @@ pub struct OpLatency {
     pub p50_ns: u64,
     /// 99th-percentile latency estimate, nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th-percentile latency estimate, nanoseconds. Defaults to
+    /// zero when talking to servers that predate the field.
+    #[serde(default)]
+    pub p999_ns: u64,
     /// Non-empty log2 buckets as `(upper_bound, count)` pairs.
     #[serde(default)]
     pub buckets: Vec<(u64, u64)>,
@@ -104,6 +116,7 @@ impl OpLatency {
             max_ns: snap.max,
             p50_ns: snap.quantile(0.50),
             p99_ns: snap.quantile(0.99),
+            p999_ns: snap.quantile(0.999),
             buckets: snap.buckets.clone(),
         }
     }
@@ -123,12 +136,50 @@ pub struct AcceptStats {
     /// Connections dropped because the accept queue was full.
     #[serde(default)]
     pub rejected: u64,
-    /// Connections currently queued awaiting a free worker.
+    /// Requests currently queued awaiting a free worker.
     #[serde(default)]
     pub queue_depth: u64,
     /// High-water mark of `queue_depth` since startup.
     #[serde(default)]
     pub queue_depth_max: u64,
+    /// Connections killed because they did not drain within the
+    /// shutdown grace period ([`ServerConfig::drain_grace`]).
+    ///
+    /// [`ServerConfig::drain_grace`]: crate::server::ServerConfig::drain_grace
+    #[serde(default)]
+    pub drain_killed: u64,
+}
+
+/// Event-loop counters reported by [`Response::Stats`]: how the
+/// readiness-driven front end is multiplexing its connections.
+///
+/// All fields default to zero so replies from servers that predate the
+/// event loop still parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EventStats {
+    /// Readiness events delivered by the poller since startup.
+    #[serde(default)]
+    pub ready_events: u64,
+    /// Times the loop was woken by a worker completion or shutdown
+    /// (as opposed to socket readiness).
+    #[serde(default)]
+    pub wakeups: u64,
+    /// Read passes that buffered bytes without completing a line —
+    /// requests arriving fragmented across readiness events.
+    #[serde(default)]
+    pub partial_reads: u64,
+    /// Connections killed by the read/idle deadline.
+    #[serde(default)]
+    pub deadline_kills: u64,
+    /// Connections closed for exceeding the request-line size cap.
+    #[serde(default)]
+    pub oversized_rejected: u64,
+    /// Connections currently registered with the event loop.
+    #[serde(default)]
+    pub conns_open: u64,
+    /// High-water mark of `conns_open` since startup.
+    #[serde(default)]
+    pub conns_peak: u64,
 }
 
 /// Counter snapshot reported by [`Response::Stats`].
@@ -154,11 +205,15 @@ pub struct ServerStats {
     /// Accept-path counters of the serving worker pool.
     #[serde(default)]
     pub accept: AcceptStats,
+    /// Event-loop counters of the readiness-driven front end.
+    #[serde(default)]
+    pub events: EventStats,
 }
 
 impl ServerStats {
     /// Fold the cache snapshots, the per-op latency digests and the
-    /// accept-path counters into the wire struct.
+    /// accept- and event-path counters into the wire struct.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_caches(
         profiles: usize,
         requests: u64,
@@ -166,6 +221,7 @@ impl ServerStats {
         profile_cache: CacheStats,
         ops: Vec<OpLatency>,
         accept: AcceptStats,
+        events: EventStats,
     ) -> Self {
         Self {
             profiles,
@@ -177,6 +233,7 @@ impl ServerStats {
             profile_misses: profile_cache.misses,
             ops,
             accept,
+            events,
         }
     }
 }
@@ -330,6 +387,7 @@ mod tests {
         assert_eq!(op.max_ns, 95_000);
         assert!(op.p50_ns >= 800 && op.p50_ns <= 2047, "{}", op.p50_ns);
         assert_eq!(op.p99_ns, 95_000);
+        assert_eq!(op.p999_ns, 95_000);
     }
 
     #[test]
@@ -341,6 +399,7 @@ mod tests {
                 rejected: 3,
                 queue_depth: 2,
                 queue_depth_max: 9,
+                drain_killed: 1,
             },
             ..Default::default()
         };
@@ -352,6 +411,38 @@ mod tests {
             "advice_evictions":0,"profile_hits":0,"profile_misses":0}"#;
         let parsed: ServerStats = serde_json::from_str(old).unwrap();
         assert_eq!(parsed.accept, AcceptStats::default());
+        assert_eq!(parsed.events, EventStats::default());
+        // A pre-drain-deadline reply omits "drain_killed" inside accept.
+        let pre_drain = r#"{"accepted":70,"rejected":3,"queue_depth":2,"queue_depth_max":9}"#;
+        let parsed: AcceptStats = serde_json::from_str(pre_drain).unwrap();
+        assert_eq!(parsed.accepted, 70);
+        assert_eq!(parsed.drain_killed, 0);
+    }
+
+    #[test]
+    fn event_stats_round_trip_and_default() {
+        let stats = ServerStats {
+            profiles: 1,
+            events: EventStats {
+                ready_events: 1000,
+                wakeups: 40,
+                partial_reads: 7,
+                deadline_kills: 2,
+                oversized_rejected: 1,
+                conns_open: 3,
+                conns_peak: 512,
+            },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"conns_peak\":512"), "{json}");
+        assert_eq!(serde_json::from_str::<ServerStats>(&json).unwrap(), stats);
+        // A pre-event-loop entry omits the p999 field: defaults to 0.
+        let pre = r#"{"op":"get","count":1,"total_ns":5,"min_ns":5,"max_ns":5,
+            "p50_ns":5,"p99_ns":5}"#;
+        let parsed: OpLatency = serde_json::from_str(pre).unwrap();
+        assert_eq!(parsed.p999_ns, 0);
+        assert!(parsed.buckets.is_empty());
     }
 
     #[test]
@@ -382,6 +473,22 @@ mod tests {
         // An ordinary protocol error must NOT look busy, or clients would
         // retry requests the server deliberately refused.
         assert!(!is_busy_error("no profile named tiny"));
+    }
+
+    #[test]
+    fn busy_line_matches_raw_wire_bytes_without_parsing() {
+        // The exact shape the server hand-builds for both busy flavors.
+        assert!(is_busy_line(
+            "{\"reply\":\"error\",\"error\":\"busy: accept queue full, retry with backoff\"}"
+        ));
+        assert!(is_busy_line(
+            "{\"reply\":\"error\",\"error\":\"busy: server overloaded, retry with backoff\"}"
+        ));
+        // Ordinary errors and non-error replies must not look busy.
+        assert!(!is_busy_line(
+            "{\"reply\":\"error\",\"error\":\"no profile named tiny\"}"
+        ));
+        assert!(!is_busy_line("{\"reply\":\"listing\",\"entries\":[]}"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::advice::{AdviceEngine, AdviceQuery};
 use crate::cache::ShardedCache;
-use crate::protocol::{AcceptStats, OpLatency, Request, Response, ServerStats};
+use crate::protocol::{AcceptStats, EventStats, OpLatency, Request, Response, ServerStats};
 use crate::store::{profile_digest, ProfileStore, StoreEntry};
 use servet_core::profile::MachineProfile;
 use servet_obs::Histogram;
@@ -58,38 +58,58 @@ impl OpMetrics {
 /// operation can report the serving layer's health next to the per-op
 /// latency digests. The TCP front end increments them; an in-process
 /// registry simply reports zeros.
+///
+/// Under the event-driven front end `accepted`/`rejected` count
+/// *connections* (admission), while the queue-depth pair tracks
+/// *requests* waiting in the bounded worker queue — a connection is no
+/// longer queued as a unit of work, its parsed request lines are.
 #[derive(Debug, Default)]
 pub struct AcceptCounters {
     accepted: AtomicU64,
     rejected: AtomicU64,
     queue_depth: AtomicU64,
     queue_depth_max: AtomicU64,
+    drain_killed: AtomicU64,
 }
 
 impl AcceptCounters {
-    /// A connection is about to be offered to the worker queue. Counted
+    /// A connection passed admission and now multiplexes on the event
+    /// loop.
+    pub fn conn_admitted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away — at admission (`max_conns` live
+    /// connections already) or because the request queue was full when
+    /// its request arrived. Either way the peer got the one-line
+    /// `busy:` rejection and a close.
+    pub fn conn_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request is about to be offered to the worker queue. Counted
     /// into the depth *before* the offer so a racing worker's
-    /// [`Self::dequeued`] can never underflow it.
-    pub fn enqueued(&self) {
+    /// [`Self::request_dequeued`] can never underflow it.
+    pub fn request_enqueued(&self) {
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// The queue took the connection ([`Self::enqueued`] already ran).
-    pub fn committed(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A worker took a queued connection into service.
-    pub fn dequeued(&self) {
+    /// A worker took a queued request into service.
+    pub fn request_dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// The queue was full ([`Self::enqueued`] already ran): roll the depth
-    /// back and count the drop.
-    pub fn rejected(&self) {
+    /// The queue was full ([`Self::request_enqueued`] already ran): roll
+    /// the depth back; the caller also counts the connection rejected.
+    pub fn request_rejected(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was killed for overstaying the shutdown drain
+    /// grace period.
+    pub fn drain_killed(&self) {
+        self.drain_killed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current values as the wire struct.
@@ -99,6 +119,72 @@ impl AcceptCounters {
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            drain_killed: self.drain_killed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Live event-loop counters, owned by the registry for the same reason
+/// as [`AcceptCounters`]: concurrently running registries must never
+/// mix their numbers through process globals.
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    ready_events: AtomicU64,
+    wakeups: AtomicU64,
+    partial_reads: AtomicU64,
+    deadline_kills: AtomicU64,
+    oversized_rejected: AtomicU64,
+    conns_open: AtomicU64,
+    conns_peak: AtomicU64,
+}
+
+impl EventCounters {
+    /// `n` readiness events came back from one poller wait.
+    pub fn ready(&self, n: u64) {
+        self.ready_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The loop was woken by the wake channel (completion or shutdown).
+    pub fn wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read pass buffered bytes without completing a line.
+    pub fn partial_read(&self) {
+        self.partial_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was killed by its read/idle deadline.
+    pub fn deadline_kill(&self) {
+        self.deadline_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed for an oversized request line.
+    pub fn oversized(&self) {
+        self.oversized_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was registered with the event loop.
+    pub fn conn_opened(&self) {
+        let open = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// A connection was deregistered.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current values as the wire struct.
+    pub fn snapshot(&self) -> EventStats {
+        EventStats {
+            ready_events: self.ready_events.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            partial_reads: self.partial_reads.load(Ordering::Relaxed),
+            deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
+            oversized_rejected: self.oversized_rejected.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_peak: self.conns_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -113,6 +199,7 @@ pub struct Registry {
     requests: AtomicU64,
     ops: OpMetrics,
     accept: AcceptCounters,
+    events: EventCounters,
 }
 
 impl Registry {
@@ -125,6 +212,7 @@ impl Registry {
             requests: AtomicU64::new(0),
             ops: OpMetrics::default(),
             accept: AcceptCounters::default(),
+            events: EventCounters::default(),
         })
     }
 
@@ -136,6 +224,11 @@ impl Registry {
     /// The accept-path counters the TCP front end maintains.
     pub fn accept_counters(&self) -> &AcceptCounters {
         &self.accept
+    }
+
+    /// The event-loop counters the TCP front end maintains.
+    pub fn event_counters(&self) -> &EventCounters {
+        &self.events
     }
 
     /// Store a profile (optionally aliased); returns its digest.
@@ -189,6 +282,7 @@ impl Registry {
             self.profiles.stats(),
             self.ops.snapshot(),
             self.accept.snapshot(),
+            self.events.snapshot(),
         )
     }
 
@@ -379,20 +473,52 @@ mod tests {
         let registry = temp_registry("accept");
         let c = registry.accept_counters();
         assert_eq!(c.snapshot(), AcceptStats::default());
+        // Three connections admitted, each with a request queued...
         for _ in 0..3 {
-            c.enqueued();
-            c.committed();
+            c.conn_admitted();
+            c.request_enqueued();
         }
-        c.dequeued();
-        c.enqueued();
-        c.rejected();
+        // ...one request taken by a worker, then a fourth connection's
+        // request finds the queue full (roll back + conn rejection) and
+        // a drain kill lands during shutdown.
+        c.request_dequeued();
+        c.request_enqueued();
+        c.request_rejected();
+        c.conn_rejected();
+        c.drain_killed();
         let snap = c.snapshot();
         assert_eq!(snap.accepted, 3);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.queue_depth, 2);
         assert_eq!(snap.queue_depth_max, 3);
+        assert_eq!(snap.drain_killed, 1);
         // And the stats surface carries them.
         assert_eq!(registry.stats().accept, snap);
+    }
+
+    #[test]
+    fn event_counters_track_open_high_water() {
+        let registry = temp_registry("events");
+        let c = registry.event_counters();
+        assert_eq!(c.snapshot(), crate::protocol::EventStats::default());
+        c.conn_opened();
+        c.conn_opened();
+        c.conn_closed();
+        c.conn_opened();
+        c.ready(5);
+        c.wakeup();
+        c.partial_read();
+        c.deadline_kill();
+        c.oversized();
+        let snap = c.snapshot();
+        assert_eq!(snap.conns_open, 2);
+        assert_eq!(snap.conns_peak, 2);
+        assert_eq!(snap.ready_events, 5);
+        assert_eq!(snap.wakeups, 1);
+        assert_eq!(snap.partial_reads, 1);
+        assert_eq!(snap.deadline_kills, 1);
+        assert_eq!(snap.oversized_rejected, 1);
+        assert_eq!(registry.stats().events, snap);
     }
 
     #[test]

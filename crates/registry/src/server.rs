@@ -1,66 +1,100 @@
-//! The TCP front end: a fixed-size worker pool over a bounded accept
-//! queue, speaking the newline-delimited JSON protocol of
+//! The event-driven TCP front end: one readiness loop multiplexing
+//! every connection, speaking the newline-delimited JSON protocol of
 //! [`crate::protocol`].
 //!
-//! The acceptor thread owns the listener and hands each accepted socket
-//! to one of [`ServerConfig::workers`] long-lived worker threads through
-//! a bounded channel of [`ServerConfig::backlog`] slots. When every
-//! worker is busy and the queue is full, new connections receive a
-//! one-line `busy:` rejection ([`crate::protocol::busy_response`]) and
-//! are closed instead of spawning unbounded threads — the server never
-//! runs more than `workers + 1` threads regardless of client count, and
-//! a turned-away client can tell "overloaded, retry" apart from a
-//! crashed server.
-//! Queue depth, its high-water mark, and the rejected-connection count
-//! are recorded on [`Registry::accept_counters`] and exported through
-//! the `stats` operation.
+//! A single loop thread (`<prefix>-accept`) owns the listener, a
+//! [`crate::poll::Poller`] (epoll where available), a
+//! [`crate::timer::TimerWheel`] of idle deadlines, and every live
+//! [`crate::conn::Conn`]. Sockets are nonblocking; the loop reads
+//! complete request lines out of per-connection buffers and hands them
+//! to [`ServerConfig::workers`] CPU-bound worker threads through a
+//! bounded channel of [`ServerConfig::backlog`] slots. Workers parse,
+//! execute against the [`Registry`], serialize, and push the response
+//! line back to the loop through a completion queue plus a one-byte
+//! wake socket.
 //!
-//! Connections carry any number of request lines; each gets exactly one
-//! response line. A per-connection read timeout drops idle or stalled
-//! clients, and [`ServerHandle::shutdown`] stops accepting, closes every
-//! live connection (queued ones included), and joins all threads before
-//! returning — so tests (and `servet serve` under a signal) always exit
-//! cleanly.
+//! Thousands of idle connections therefore cost no threads: the server
+//! runs exactly `workers + 1` threads no matter how many clients
+//! connect (see [`ServerConfig::max_conns`] for the admission cap).
+//! Overload is explicit at two layers, both answered with a one-line
+//! `busy:` rejection ([`crate::protocol::busy_response`]) and a close:
+//!
+//! * **admission** — more than `max_conns` live connections;
+//! * **execution** — a parsed request finds the worker queue full.
+//!
+//! At most one request per connection is in flight at a time; while one
+//! is, the loop stops reading that socket, so pipelining clients are
+//! backpressured by the kernel, not by server memory. Unterminated
+//! lines longer than [`ServerConfig::max_line_bytes`] are refused.
+//!
+//! [`ServerHandle::shutdown`] stops accepting, closes every idle
+//! connection at once, lets in-flight requests finish for up to
+//! [`ServerConfig::drain_grace`], then kills stragglers (counted as
+//! `drain_killed` in [`crate::protocol::AcceptStats`]) and joins every
+//! thread. Loop health is exported through
+//! [`crate::protocol::EventStats`] via the `stats` operation.
 
-use crate::protocol::{busy_response, read_message, write_message, Request, Response};
+use crate::conn::Conn;
+use crate::poll::{deepen_listen_backlog, raise_nofile_limit, Event, Interest, Poller};
+use crate::protocol::{busy_response, write_message, Request, Response};
 use crate::registry::Registry;
+use crate::timer::TimerWheel;
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Live connections by id, so [`ServerHandle::shutdown`] can close them
-/// and a worker can *deregister* its connection once served. The worker
-/// explicitly `shutdown()`s the socket rather than relying on drop: a
-/// registered clone would otherwise keep the kernel socket open and the
-/// client would never see EOF.
-type ConnMap = Mutex<HashMap<u64, TcpStream>>;
+/// Poller token of the listening socket.
+const LISTENER: u64 = 0;
+/// Poller token of the wake-pipe read end.
+const WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 2;
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(s: &T) -> std::os::fd::RawFd {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> i32 {
+    -1
+}
 
 /// Tunables for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Per-connection read timeout; a client silent for this long is
-    /// disconnected.
+    /// Idle deadline: a connection with no complete request and no
+    /// read activity for this long is disconnected.
     pub read_timeout: Duration,
-    /// Worker threads serving connections. The server never runs more
-    /// serving threads than this (plus the acceptor), no matter how many
+    /// Worker threads executing requests. The server never runs more
+    /// threads than this plus the event loop, no matter how many
     /// clients connect.
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker. When all
-    /// workers are busy and this many connections are already queued,
-    /// further arrivals are sent a one-line `busy:` rejection
-    /// ([`crate::protocol::busy_response`]), closed, and counted as
-    /// rejected. `0` means rendezvous: a connection is admitted only if
-    /// a worker is blocked waiting for one — useful in tests that need
+    /// Parsed requests that may wait for a free worker. When all
+    /// workers are busy and this many requests are queued, further
+    /// requests are answered with a one-line `busy:` rejection
+    /// ([`crate::protocol::busy_response`]) and the connection is
+    /// closed. `0` means rendezvous: a request is accepted only if a
+    /// worker is blocked waiting for one — useful in tests that need
     /// rejection to be deterministic.
     pub backlog: usize,
-    /// Prefix for server thread names (`<prefix>-accept`,
-    /// `<prefix>-worker-N`), useful for telling pools apart in
+    /// Prefix for server thread names (`<prefix>-accept` for the event
+    /// loop, `<prefix>-worker-N`), useful for telling pools apart in
     /// `/proc/<pid>/task` or a debugger.
     pub thread_prefix: String,
+    /// Live-connection admission cap. Arrivals beyond it get the
+    /// `busy:` line and a close instead of degrading everyone.
+    pub max_conns: usize,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight
+    /// requests to finish before killing their connections.
+    pub drain_grace: Duration,
+    /// Longest accepted request line. An unterminated line growing past
+    /// this is refused with an error response and a close (the
+    /// slow-loris bound: per-connection memory stays finite).
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,16 +107,57 @@ impl Default for ServerConfig {
                 .clamp(2, 8),
             backlog: 128,
             thread_prefix: "servet".into(),
+            max_conns: 10_240,
+            drain_grace: Duration::from_secs(5),
+            max_line_bytes: 16 * 1024 * 1024,
         }
     }
+}
+
+/// Wakes the event loop out of `Poller::wait` from another thread by
+/// writing one byte into a nonblocking loopback socket the loop polls.
+struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    fn wake(&self) {
+        // WouldBlock means bytes are already pending: the loop will
+        // wake regardless, so every outcome here is fine.
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// A loopback socket pair standing in for a pipe: `(read end, write
+/// end)`, both nonblocking.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true).ok();
+    Ok((rx, tx))
+}
+
+/// One parsed-off request line headed for a worker.
+struct Job {
+    conn: u64,
+    line: Vec<u8>,
+}
+
+/// One serialized response line headed back to the loop.
+struct Completion {
+    conn: u64,
+    line: Vec<u8>,
 }
 
 /// A running server; dropping it shuts it down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<ConnMap>,
+    loop_thread: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
 }
 
 impl ServerHandle {
@@ -91,31 +166,24 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, close live connections, and join every thread.
+    /// Stop accepting, drain in-flight requests for up to the
+    /// configured grace, close every connection, and join every thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
-    /// Block until the server stops on its own (it never does unless the
-    /// process is killed) — the body of `servet serve`.
+    /// Block until the server stops on its own (it never does unless
+    /// the process is killed) — the body of `servet serve`.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
     }
 
     fn shutdown_inner(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock every worker stuck in a read.
-        if let Ok(conns) = self.conns.lock() {
-            for conn in conns.values() {
-                let _ = conn.shutdown(Shutdown::Both);
-            }
-        }
-        // Unblock the accept loop with a wake-up connection. The acceptor
-        // then drops the queue sender, which drains the workers.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.waker.wake();
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
     }
@@ -123,17 +191,90 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.loop_thread.is_some() {
             self.shutdown_inner();
         }
     }
 }
 
+/// Turn a raw request line into a response, end to end: parse,
+/// dispatch, done. Runs on a worker thread — the CPU-bound stage.
+fn execute(registry: &Registry, raw: &[u8]) -> Response {
+    let text = match std::str::from_utf8(raw) {
+        Ok(t) => t.trim(),
+        Err(e) => {
+            return Response::Error {
+                error: format!("bad request: {e}"),
+            }
+        }
+    };
+    if text.is_empty() {
+        return Response::Error {
+            error: "bad request: empty line".into(),
+        };
+    }
+    match serde_json::from_str::<Request>(text) {
+        Ok(request) => registry.handle(request),
+        Err(e) => Response::Error {
+            error: format!("bad request: {e}"),
+        },
+    }
+}
+
+/// Serialize a response as one newline-terminated JSON line.
+fn encode_line(response: &Response) -> Vec<u8> {
+    // Error replies are hand-built: byte-stable, serializer-independent,
+    // and available even when the JSON backend is broken — clients can
+    // always read why they were refused.
+    if let Response::Error { error } = response {
+        return error_line(error);
+    }
+    let mut buf = Vec::with_capacity(128);
+    if write_message(&mut buf, response).is_err() {
+        buf.clear();
+        buf = error_line("internal: response serialization failed");
+    }
+    buf
+}
+
+/// Hand-build an error reply line with no serializer in the path. The
+/// event loop uses this for its own replies (busy, oversized) so a
+/// broken or panicking serializer can never take the loop thread down
+/// with it.
+fn error_line(message: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(message.len() + 32);
+    buf.extend_from_slice(b"{\"reply\":\"error\",\"error\":\"");
+    for byte in message.bytes() {
+        match byte {
+            b'"' => buf.extend_from_slice(b"\\\""),
+            b'\\' => buf.extend_from_slice(b"\\\\"),
+            b'\n' => buf.extend_from_slice(b"\\n"),
+            b'\r' => buf.extend_from_slice(b"\\r"),
+            b'\t' => buf.extend_from_slice(b"\\t"),
+            0x00..=0x1f => {
+                buf.extend_from_slice(format!("\\u{byte:04x}").as_bytes());
+            }
+            _ => buf.push(byte),
+        }
+    }
+    buf.extend_from_slice(b"\"}\n");
+    buf
+}
+
+/// The `busy:` rejection as a ready-to-send wire line, serde-free so
+/// the event loop can emit it directly.
+fn busy_line() -> Vec<u8> {
+    match busy_response() {
+        Response::Error { error } => error_line(&error),
+        _ => error_line("busy: server overloaded, retry with backoff"),
+    }
+}
+
 /// Bind `addr` and serve `registry` until [`ServerHandle::shutdown`].
 ///
-/// Spawns `config.workers` worker threads and one acceptor; accepted
-/// sockets flow to workers through a channel bounded by
-/// `config.backlog`.
+/// Spawns `config.workers` worker threads plus one event-loop thread;
+/// request lines flow to workers through a channel bounded by
+/// `config.backlog`, responses flow back through a completion queue.
 pub fn serve(
     registry: Arc<Registry>,
     addr: impl ToSocketAddrs,
@@ -141,141 +282,428 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    // A 10k-connection storm overruns std's hardcoded 128-deep kernel
+    // accept backlog; deepen it (and the fd limit) best-effort.
+    deepen_listen_backlog(&listener, config.max_conns.clamp(128, 65_535) as i32);
+    let _ = raise_nofile_limit();
+
     let shutdown = Arc::new(AtomicBool::new(false));
-    let conns: Arc<ConnMap> = Arc::new(Mutex::new(HashMap::new()));
+    let (wake_rx, wake_tx) = wake_pair()?;
+    let waker = Arc::new(Waker { tx: wake_tx });
 
-    let (tx, rx) = mpsc::sync_channel::<(u64, TcpStream)>(config.backlog);
-    let rx = Arc::new(Mutex::new(rx));
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.backlog);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
+    let mut workers = Vec::with_capacity(config.workers.max(1));
     for i in 0..config.workers.max(1) {
         let registry = Arc::clone(&registry);
-        let shutdown = Arc::clone(&shutdown);
-        let rx = Arc::clone(&rx);
-        let conns = Arc::clone(&conns);
+        let job_rx = Arc::clone(&job_rx);
+        let completions = Arc::clone(&completions);
+        let waker = Arc::clone(&waker);
         let worker = std::thread::Builder::new()
             .name(format!("{}-worker-{i}", config.thread_prefix))
             .spawn(move || loop {
-                // Hold the receiver lock only for the blocking recv; the
-                // connection is served with the lock released so the
-                // other workers keep draining the queue.
-                let received = match rx.lock() {
+                // Hold the receiver lock only for the blocking recv so
+                // the other workers keep draining the queue.
+                let received = match job_rx.lock() {
                     Ok(guard) => guard.recv(),
                     Err(_) => break,
                 };
-                let Ok((id, stream)) = received else { break };
-                registry.accept_counters().dequeued();
-                if !shutdown.load(Ordering::SeqCst) {
-                    serve_connection(&registry, &stream, &shutdown);
+                let Ok(job) = received else { break };
+                registry.accept_counters().request_dequeued();
+                // A panicking handler must cost its request, not the
+                // worker — and never leave the client waiting forever
+                // on a response that will not come.
+                let line = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    encode_line(&execute(&registry, &job.line))
+                }))
+                .unwrap_or_else(|_| error_line("internal: request handler panicked"));
+                if let Ok(mut queue) = completions.lock() {
+                    queue.push(Completion {
+                        conn: job.conn,
+                        line,
+                    });
                 }
-                // Half the socket lives in the `conns` map, so dropping
-                // our handle would not close it — shut it down explicitly
-                // (sends FIN / EOF to the client) and deregister it.
-                let _ = stream.shutdown(Shutdown::Both);
-                if let Ok(mut conns) = conns.lock() {
-                    conns.remove(&id);
-                }
+                waker.wake();
             })?;
         workers.push(worker);
     }
 
-    let accept_thread = {
-        let shutdown = Arc::clone(&shutdown);
-        let conns = Arc::clone(&conns);
-        std::thread::Builder::new()
-            .name(format!("{}-accept", config.thread_prefix))
-            .spawn(move || {
-                let mut next_id: u64 = 0;
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    servet_obs::counter("registry.server.connections").incr();
-                    let _ = stream.set_read_timeout(Some(config.read_timeout));
-                    let _ = stream.set_nodelay(true);
-                    let id = next_id;
-                    next_id += 1;
-                    // Register the connection *before* handing it to the
-                    // pool so shutdown can always see (and close) it.
-                    if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), conns.lock()) {
-                        conns.insert(id, clone);
-                    }
-                    let counters = registry.accept_counters();
-                    counters.enqueued();
-                    match tx.try_send((id, stream)) {
-                        Ok(()) => counters.committed(),
-                        Err(mpsc::TrySendError::Full((id, mut stream))) => {
-                            counters.rejected();
-                            servet_obs::counter("registry.server.rejected").incr();
-                            // Tell the client *why* before hanging up, so it
-                            // sees a distinct "server busy" rejection rather
-                            // than an opaque EOF. Best effort under a short
-                            // write timeout — a rejection path must never
-                            // stall the acceptor behind a slow client.
-                            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                            let _ = write_message(&mut stream, &busy_response());
-                            let _ = stream.shutdown(Shutdown::Both);
-                            if let Ok(mut conns) = conns.lock() {
-                                conns.remove(&id);
-                            }
-                        }
-                        Err(mpsc::TrySendError::Disconnected((id, stream))) => {
-                            let _ = stream.shutdown(Shutdown::Both);
-                            if let Ok(mut conns) = conns.lock() {
-                                conns.remove(&id);
-                            }
-                            break;
-                        }
-                    }
-                }
-                // Dropping the sender wakes every worker out of recv once
-                // the queue is drained; join them so shutdown is total.
-                drop(tx);
-                for worker in workers {
-                    let _ = worker.join();
-                }
-            })?
+    let poller = Poller::new()?;
+    // Tick the wheel well inside the idle deadline so kills land close
+    // to it, without sub-millisecond wakeups.
+    let granularity = (config.read_timeout / 8)
+        .max(Duration::from_millis(1))
+        .min(Duration::from_millis(250));
+    let event_loop = EventLoop {
+        registry,
+        config: config.clone(),
+        poller,
+        listener,
+        wake_rx,
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(granularity),
+        next_token: FIRST_CONN,
+        job_tx: Some(job_tx),
+        completions,
+        shutdown: Arc::clone(&shutdown),
     };
+    let loop_thread = std::thread::Builder::new()
+        .name(format!("{}-accept", config.thread_prefix))
+        .spawn(move || event_loop.run(workers))?;
 
     Ok(ServerHandle {
         addr,
         shutdown,
-        accept_thread: Some(accept_thread),
-        conns,
+        loop_thread: Some(loop_thread),
+        waker,
     })
 }
 
-/// Serve one connection: a loop of read-line → dispatch → write-line.
-/// The caller keeps ownership of the socket so it can `shutdown()` it
-/// afterwards regardless of how the loop ends.
-fn serve_connection(registry: &Registry, stream: &TcpStream, shutdown: &AtomicBool) {
-    let (Ok(read_half), Ok(write_half)) = (stream.try_clone(), stream.try_clone()) else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(write_half);
-    while !shutdown.load(Ordering::SeqCst) {
-        match read_message::<Request>(&mut reader) {
-            Ok(Some(request)) => {
-                let response = registry.handle(request);
-                if write_message(&mut writer, &response).is_err() {
-                    break;
+/// The readiness loop: accepts, reads, dispatches, flushes, expires.
+struct EventLoop {
+    registry: Arc<Registry>,
+    config: ServerConfig,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    next_token: u64,
+    /// Dropped at shutdown so workers drain the queue and exit.
+    job_tx: Option<mpsc::SyncSender<Job>>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl EventLoop {
+    fn run(mut self, workers: Vec<JoinHandle<()>>) {
+        let listener_ok = self
+            .poller
+            .register(raw_fd(&self.listener), LISTENER, Interest::READ)
+            .is_ok();
+        let wake_ok = self
+            .poller
+            .register(raw_fd(&self.wake_rx), WAKE, Interest::READ)
+            .is_ok();
+        let mut events: Vec<Event> = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        while listener_ok && wake_ok && !self.tick(&mut events, &mut drain_deadline) {}
+        // Dropping the sender wakes every worker out of recv once the
+        // queue is drained; join them so shutdown is total.
+        drop(self.job_tx.take());
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// One pass of the event loop; returns `true` when the loop should
+    /// exit (poller failure, or drain complete).
+    fn tick(&mut self, events: &mut Vec<Event>, drain_deadline: &mut Option<Instant>) -> bool {
+        let now = Instant::now();
+        let timeout = self.poll_timeout(now, *drain_deadline);
+        if self.poller.wait(events, timeout).is_err() {
+            return true;
+        }
+        if !events.is_empty() {
+            self.registry.event_counters().ready(events.len() as u64);
+        }
+        for &ev in events.iter() {
+            match ev.token {
+                LISTENER => self.accept_ready(drain_deadline.is_some()),
+                WAKE => self.drain_waker(),
+                token => self.conn_event(token, ev),
+            }
+        }
+        self.apply_completions();
+        self.expire_deadlines();
+
+        if drain_deadline.is_none() && self.shutdown.load(Ordering::SeqCst) {
+            *drain_deadline = Some(Instant::now() + self.config.drain_grace);
+            self.begin_drain();
+        }
+        if let Some(deadline) = *drain_deadline {
+            if self.conns.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                self.kill_remaining();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// How long the poller may sleep: bounded by the next timer tick
+    /// and, while draining, by the drain deadline.
+    fn poll_timeout(&self, now: Instant, drain: Option<Instant>) -> Option<Duration> {
+        let mut timeout = self.wheel.next_timeout(now);
+        if let Some(deadline) = drain {
+            let until = deadline
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1));
+            timeout = Some(timeout.map_or(until, |t| t.min(until)));
+        }
+        timeout
+    }
+
+    /// Accept everything the kernel has queued. New arrivals past the
+    /// admission cap (or during drain) are turned away immediately.
+    fn accept_ready(&mut self, draining: bool) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    servet_obs::counter("registry.server.connections").incr();
+                    if draining {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    if self.conns.len() >= self.config.max_conns {
+                        self.reject_conn(stream);
+                        continue;
+                    }
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Tell an un-admitted client *why* before hanging up, so it sees a
+    /// distinct "server busy" rejection rather than an opaque EOF. Best
+    /// effort under a short write timeout — a rejection must never
+    /// stall the loop behind a slow client.
+    fn reject_conn(&mut self, stream: TcpStream) {
+        self.registry.accept_counters().conn_rejected();
+        servet_obs::counter("registry.server.rejected").incr();
+        let mut stream = stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let _ = stream.write_all(&busy_line());
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let token = self.next_token;
+        let deadline = Instant::now() + self.config.read_timeout;
+        let Ok(conn) = Conn::new(stream, token, deadline) else {
+            return;
+        };
+        if self
+            .poller
+            .register(raw_fd(conn.stream()), token, Interest::READ)
+            .is_err()
+        {
+            conn.shutdown();
+            return;
+        }
+        self.next_token += 1;
+        self.wheel.insert(deadline, token, conn.generation);
+        self.registry.accept_counters().conn_admitted();
+        self.registry.event_counters().conn_opened();
+        self.conns.insert(token, conn);
+    }
+
+    /// Swallow pending wake bytes (their only job was ending the wait).
+    fn drain_waker(&mut self) {
+        self.registry.event_counters().wakeup();
+        let mut buf = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// React to readiness on one connection, then advance its state
+    /// machine.
+    fn conn_event(&mut self, token: u64, ev: Event) {
+        let mut dead = false;
+        let mut read_bytes = 0usize;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return; // already closed; stale event
+            };
+            if (ev.readable || ev.hangup) && !conn.inflight && !conn.closing {
+                // Cap buffered-but-unparsed input a little above the
+                // line limit so the overflow check can trip.
+                let cap = self.config.max_line_bytes.saturating_add(64 * 1024);
+                match conn.read_ready(cap) {
+                    Ok(outcome) => read_bytes = outcome.bytes,
+                    Err(_) => dead = true,
                 }
             }
-            Ok(None) => break, // client hung up
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed line: report it and keep the connection.
-                let response = Response::Error {
-                    error: format!("bad request: {e}"),
+            if !dead && ev.writable && conn.wants_write() && conn.flush().is_err() {
+                dead = true;
+            }
+        }
+        if dead {
+            self.close_conn(token);
+        } else {
+            self.advance(token, read_bytes);
+        }
+    }
+
+    /// Advance one connection's state machine: dispatch a buffered
+    /// line, flush output, decide close, sync poller interest, re-arm
+    /// the idle deadline. Safe to call any time.
+    fn advance(&mut self, token: u64, read_bytes: usize) {
+        let mut remove = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if !conn.inflight && !conn.closing {
+                match conn.lines.pop_line() {
+                    Some(line) => {
+                        self.registry.accept_counters().request_enqueued();
+                        let sent = self
+                            .job_tx
+                            .as_ref()
+                            .map(|tx| tx.try_send(Job { conn: token, line }));
+                        match sent {
+                            Some(Ok(())) => {
+                                conn.inflight = true;
+                                // Cancel the idle deadline while the
+                                // request is ours, not the client's.
+                                conn.generation = conn.generation.wrapping_add(1);
+                            }
+                            Some(Err(mpsc::TrySendError::Full(_))) => {
+                                self.registry.accept_counters().request_rejected();
+                                self.registry.accept_counters().conn_rejected();
+                                servet_obs::counter("registry.server.rejected").incr();
+                                conn.queue_write(&busy_line());
+                                conn.closing = true;
+                            }
+                            Some(Err(mpsc::TrySendError::Disconnected(_))) | None => {
+                                self.registry.accept_counters().request_rejected();
+                                conn.closing = true;
+                            }
+                        }
+                    }
+                    None => {
+                        if conn.lines.line_overflows(self.config.max_line_bytes) {
+                            self.registry.event_counters().oversized();
+                            conn.queue_write(&error_line(&format!(
+                                "bad request: line exceeds {} bytes",
+                                self.config.max_line_bytes
+                            )));
+                            conn.closing = true;
+                        } else if read_bytes > 0 && !conn.lines.is_empty() {
+                            self.registry.event_counters().partial_read();
+                        }
+                    }
+                }
+            }
+            if conn.wants_write() && conn.flush().is_err() {
+                remove = true;
+            }
+            if !remove {
+                if conn.closing && conn.drained() {
+                    remove = true;
+                } else if conn.peer_eof && conn.drained() && conn.lines.is_empty() {
+                    remove = true; // clean EOF, nothing pending
+                }
+            }
+            if !remove && !conn.inflight && read_bytes > 0 {
+                let generation = conn.rearm_deadline(Instant::now() + self.config.read_timeout);
+                self.wheel.insert(conn.deadline, token, generation);
+            }
+            if !remove {
+                let want = conn.desired_interest();
+                if want != conn.registered {
+                    if self
+                        .poller
+                        .modify(raw_fd(conn.stream()), token, want)
+                        .is_err()
+                    {
+                        remove = true;
+                    } else {
+                        conn.registered = want;
+                    }
+                }
+            }
+        }
+        if remove {
+            self.close_conn(token);
+        }
+    }
+
+    /// Deliver finished responses back onto their connections.
+    fn apply_completions(&mut self) {
+        let batch = match self.completions.lock() {
+            Ok(mut queue) => std::mem::take(&mut *queue),
+            Err(_) => return,
+        };
+        for done in batch {
+            let token = done.conn;
+            {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue; // connection died while the request ran
                 };
-                if write_message(&mut writer, &response).is_err() {
-                    break;
+                conn.inflight = false;
+                conn.queue_write(&done.line);
+                if !conn.closing && !conn.peer_eof {
+                    let generation = conn.rearm_deadline(Instant::now() + self.config.read_timeout);
+                    self.wheel.insert(conn.deadline, token, generation);
                 }
             }
-            // Timeouts surface as WouldBlock (Linux) or TimedOut; the
-            // per-connection policy is to drop stalled clients.
-            Err(_) => break,
+            self.advance(token, 0);
+        }
+    }
+
+    /// Kill connections whose idle deadline passed. Stale fires (the
+    /// generation moved on) are ignored.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut expired: Vec<(u64, u64)> = Vec::new();
+        self.wheel.expire(now, |token, generation| {
+            expired.push((token, generation));
+        });
+        for (token, generation) in expired {
+            let kill = self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.generation == generation && !c.inflight);
+            if kill {
+                self.registry.event_counters().deadline_kill();
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Enter drain: stop watching the listener, close idle connections
+    /// immediately, and flag the rest to close as soon as their
+    /// in-flight work flushes.
+    fn begin_drain(&mut self) {
+        let _ = self.poller.deregister(raw_fd(&self.listener), LISTENER);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.closing = true;
+            }
+            self.advance(token, 0);
+        }
+    }
+
+    /// The drain grace expired: kill whatever is left.
+    fn kill_remaining(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.registry.accept_counters().drain_killed();
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(raw_fd(conn.stream()), token);
+            conn.shutdown();
+            self.registry.event_counters().conn_closed();
         }
     }
 }
@@ -284,9 +712,11 @@ fn serve_connection(registry: &Registry, stream: &TcpStream, shutdown: &AtomicBo
 mod tests {
     use super::*;
     use crate::client::RegistryClient;
+    use crate::protocol::read_message;
     use servet_core::profile::MachineProfile;
     use servet_core::suite::{run_full_suite, SuiteConfig};
     use servet_core::SimPlatform;
+    use std::io::{BufRead, BufReader};
 
     fn measured_profile() -> MachineProfile {
         let mut platform = SimPlatform::tiny_cluster().with_noise(0.003);
@@ -402,6 +832,10 @@ mod tests {
         // Say nothing: the server should hang up on us.
         let got: io::Result<Option<Response>> = read_message(&mut reader);
         assert!(matches!(got, Ok(None)), "expected EOF, got {got:?}");
+        assert!(
+            registry.event_counters().snapshot().deadline_kills >= 1,
+            "idle kill must be counted"
+        );
         server.shutdown();
     }
 
@@ -432,9 +866,9 @@ mod tests {
         assert!(!matches!(got, Ok(Some(_))), "unexpected message {got:?}");
     }
 
-    /// The acceptance bar for the pool: 64 concurrent connections are
-    /// all admitted while the server runs exactly `workers + 1` threads,
-    /// and the accept counters record the queue pressure.
+    /// The acceptance bar for the event loop: 64 concurrent connections
+    /// are all admitted AND served while the server runs exactly
+    /// `workers + 1` threads.
     #[cfg(target_os = "linux")]
     #[test]
     fn worker_pool_bounds_server_threads_under_load() {
@@ -449,41 +883,56 @@ mod tests {
                 backlog: CLIENTS,
                 thread_prefix: "pool64".into(),
                 read_timeout: Duration::from_secs(30),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
         let addr = server.addr();
 
-        let barrier = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+        // Every client sends one request, reads its reply, then holds
+        // the connection open until the main thread has sampled the
+        // server's thread count. The request is raw bytes and the reply
+        // is read as a raw line — no serializer anywhere in the client
+        // path — so a client thread always reaches the barrier even
+        // when no JSON backend is available; missing the barrier would
+        // deadlock the whole test.
+        let served = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+        let release = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
         let clients: Vec<_> = (0..CLIENTS)
             .map(|_| {
-                let barrier = Arc::clone(&barrier);
+                let served = Arc::clone(&served);
+                let release = Arc::clone(&release);
                 std::thread::spawn(move || {
-                    let stream = TcpStream::connect(addr).unwrap();
-                    // Hold the connection open until the main thread has
-                    // sampled the server's thread count.
-                    barrier.wait();
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(20)))
+                        .unwrap();
+                    let sent = stream.write_all(b"{\"cmd\":\"list\"}\n").is_ok();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut line = String::new();
+                    let got = reader.read_line(&mut line).unwrap_or(0);
+                    served.wait();
+                    release.wait();
                     drop(stream);
+                    assert!(sent, "every client must get its request out");
+                    assert!(got > 0, "every client must draw a reply line");
                 })
             })
             .collect();
 
-        wait_until("all clients admitted", || {
-            registry.accept_counters().snapshot().accepted >= CLIENTS as u64
-        });
-        // 64 live connections, yet the server is exactly the fixed pool.
+        served.wait();
+        // 64 live, served connections, yet the server is exactly the
+        // fixed pool plus the event loop.
         assert_eq!(threads_with_prefix("pool64"), WORKERS + 1);
         let snap = registry.accept_counters().snapshot();
         assert_eq!(snap.accepted, CLIENTS as u64);
         assert_eq!(snap.rejected, 0, "nothing rejected: {snap:?}");
-        // Each worker can absorb at most one connection; the rest must
-        // have been queued at some point.
-        assert!(
-            snap.queue_depth_max >= (CLIENTS - WORKERS) as u64,
-            "high water too low: {snap:?}"
-        );
+        assert_eq!(snap.queue_depth, 0, "all requests drained: {snap:?}");
+        let events = registry.event_counters().snapshot();
+        assert_eq!(events.conns_open, CLIENTS as u64, "{events:?}");
+        assert!(events.conns_peak >= CLIENTS as u64, "{events:?}");
 
-        barrier.wait();
+        release.wait();
         for c in clients {
             c.join().unwrap();
         }
@@ -491,8 +940,10 @@ mod tests {
         assert_eq!(threads_with_prefix("pool64"), 0, "pool threads leaked");
     }
 
+    /// Admission control: arrivals past `max_conns` get the typed
+    /// `busy:` line and an EOF, and a freed slot re-opens the door.
     #[test]
-    fn full_accept_queue_rejects_new_connections() {
+    fn over_admission_cap_rejects_with_busy_line() {
         use std::io::{BufRead as _, Write as _};
         let registry = temp_registry("reject");
         let server = serve(
@@ -500,63 +951,121 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 workers: 1,
-                backlog: 1,
+                backlog: 4,
+                max_conns: 2,
                 ..ServerConfig::default()
             },
         )
         .unwrap();
-        let counters = registry.accept_counters();
+        let accept = registry.accept_counters();
+        let events = registry.event_counters();
 
-        // First connection occupies the only worker...
-        let busy = TcpStream::connect(server.addr()).unwrap();
-        wait_until("first connection in service", || {
-            let s = counters.snapshot();
-            s.accepted == 1 && s.queue_depth == 0
+        let first = TcpStream::connect(server.addr()).unwrap();
+        wait_until("first connection admitted", || {
+            events.snapshot().conns_open == 1
         });
-        // ...the second fills the one-slot queue...
-        let queued = TcpStream::connect(server.addr()).unwrap();
-        wait_until("second connection queued", || {
-            counters.snapshot().accepted == 2
+        let _second = TcpStream::connect(server.addr()).unwrap();
+        wait_until("second connection admitted", || {
+            events.snapshot().conns_open == 2
         });
-        // ...and the third is turned away with a busy line, then a close.
+        // The third is over the cap: busy line, then a close.
         let turned_away = TcpStream::connect(server.addr()).unwrap();
         wait_until("third connection rejected", || {
-            counters.snapshot().rejected == 1
+            accept.snapshot().rejected == 1
         });
+        // The busy line is hand-built (never JSON-encoded), so read it
+        // raw: it must classify as busy straight off the wire.
         let mut reader = BufReader::new(turned_away);
-        match read_message::<Response>(&mut reader) {
-            Ok(Some(Response::Error { error })) => {
-                assert!(crate::protocol::is_busy_error(&error), "{error}");
-            }
-            got => panic!("expected busy rejection, got {got:?}"),
-        }
-        let got: io::Result<Option<Response>> = read_message(&mut reader);
-        assert!(matches!(got, Ok(None)), "expected EOF, got {got:?}");
-
-        // Freeing the worker lets the queued connection get service:
-        // a (malformed) request line still draws a response line.
-        drop(busy);
-        let mut queued_reader = BufReader::new(queued.try_clone().unwrap());
-        let mut queued = queued;
-        queued.write_all(b"not json\n").unwrap();
         let mut line = String::new();
-        queued_reader.read_line(&mut line).unwrap();
+        reader.read_line(&mut line).unwrap();
         assert!(
-            !line.trim().is_empty(),
-            "queued connection never got served"
+            crate::protocol::is_busy_line(&line),
+            "expected busy rejection, got {line:?}"
         );
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "expected EOF");
 
-        let snap = counters.snapshot();
-        assert_eq!(snap.accepted, 2);
+        // Freeing a slot lets the next arrival in: a (malformed)
+        // request line still draws a response line.
+        drop(first);
+        wait_until("slot freed", || events.snapshot().conns_open == 1);
+        let mut admitted = TcpStream::connect(server.addr()).unwrap();
+        admitted.write_all(b"not json\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(admitted.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(!line.trim().is_empty(), "admitted connection never served");
+
+        let snap = accept.snapshot();
+        assert_eq!(snap.accepted, 3);
         assert_eq!(snap.rejected, 1);
-        assert!(snap.queue_depth_max >= 1);
+        server.shutdown();
+    }
+
+    /// A full request queue answers with the same typed `busy:` line.
+    /// With one worker and a rendezvous queue, concurrent clients must
+    /// collide with an executing request quickly.
+    #[test]
+    fn saturated_request_queue_rejects_with_busy_line() {
+        use std::io::{BufRead as _, Write as _};
+        let registry = temp_registry("busyq");
+        let server = serve(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                backlog: 0,
+                read_timeout: Duration::from_secs(10),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let hammers: Vec<_> = (0..4)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || -> Option<String> {
+                    while !stop.load(Ordering::SeqCst) {
+                        let Ok(mut stream) = TcpStream::connect(addr) else {
+                            continue;
+                        };
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        if stream.write_all(b"{\"cmd\":\"list\"}\n").is_err() {
+                            continue;
+                        }
+                        let mut reader = BufReader::new(stream);
+                        let mut line = String::new();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            continue;
+                        }
+                        if crate::protocol::is_busy_line(&line) {
+                            // The busy line is followed by a close.
+                            let mut rest = String::new();
+                            assert_eq!(reader.read_line(&mut rest).unwrap_or(0), 0);
+                            stop.store(true, Ordering::SeqCst);
+                            return Some(line);
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        wait_until("a request-level rejection", || stop.load(Ordering::SeqCst));
+        let busy_lines: Vec<String> = hammers
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        assert!(!busy_lines.is_empty());
+        assert!(registry.accept_counters().snapshot().rejected >= 1);
         server.shutdown();
     }
 
     /// The client-facing half of the busy protocol: a put against a
-    /// saturated 1-worker/0-backlog server maps to the distinct
-    /// "server busy" error, and the retrying client rides out the
-    /// rejection with backoff once the worker frees up.
+    /// server at its admission cap maps to the distinct "server busy"
+    /// error, and the retrying client rides out the rejection with
+    /// backoff once the slot frees up.
     #[test]
     fn rejected_client_retries_and_succeeds() {
         use crate::client::{is_retryable, RetryPolicy, RetryingRegistryClient};
@@ -567,20 +1076,21 @@ mod tests {
             "127.0.0.1:0",
             ServerConfig {
                 workers: 1,
-                // Rendezvous queue: with the one worker occupied, every
-                // further arrival is deterministically rejected.
-                backlog: 0,
+                // One admission slot: with it occupied, every further
+                // arrival is deterministically rejected.
+                max_conns: 1,
                 ..ServerConfig::default()
             },
         )
         .unwrap();
-        let counters = registry.accept_counters();
+        let accept = registry.accept_counters();
+        let events = registry.event_counters();
         let profile = measured_profile();
 
-        // Occupy the only worker.
+        // Occupy the only slot.
         let busy = TcpStream::connect(server.addr()).unwrap();
-        wait_until("first connection in service", || {
-            counters.snapshot().accepted == 1
+        wait_until("first connection admitted", || {
+            events.snapshot().conns_open == 1
         });
 
         // A plain client is turned away. Depending on how the server's
@@ -591,9 +1101,9 @@ mod tests {
         plain.set_timeout(Some(Duration::from_secs(10))).unwrap();
         let err = plain.put(&profile, Some("tiny")).unwrap_err();
         assert!(is_retryable(&err), "wanted retryable, got {err:?}");
-        wait_until("rejection counted", || counters.snapshot().rejected >= 1);
+        wait_until("rejection counted", || accept.snapshot().rejected >= 1);
 
-        // Free the worker shortly; the retrying client's backoff must
+        // Free the slot shortly; the retrying client's backoff must
         // carry it past the rejections to a successful put.
         let freer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(50));
@@ -606,6 +1116,7 @@ mod tests {
                 initial_backoff: Duration::from_millis(5),
                 multiplier: 1.5,
                 max_backoff: Duration::from_millis(100),
+                ..RetryPolicy::default()
             },
         );
         let digest = retrying.put(&profile, Some("tiny")).unwrap();
@@ -630,21 +1141,17 @@ mod tests {
             },
         )
         .unwrap();
-        let counters = registry.accept_counters();
+        let events = registry.event_counters();
 
-        let busy = TcpStream::connect(server.addr()).unwrap();
-        wait_until("first connection in service", || {
-            let s = counters.snapshot();
-            s.accepted == 1 && s.queue_depth == 0
-        });
-        let queued_a = TcpStream::connect(server.addr()).unwrap();
-        let queued_b = TcpStream::connect(server.addr()).unwrap();
-        wait_until("two connections queued", || {
-            counters.snapshot().accepted == 3
+        let a = TcpStream::connect(server.addr()).unwrap();
+        let b = TcpStream::connect(server.addr()).unwrap();
+        let c = TcpStream::connect(server.addr()).unwrap();
+        wait_until("three connections admitted", || {
+            events.snapshot().conns_open == 3
         });
 
-        // Shutdown must close the served AND the still-queued
-        // connections, promptly.
+        // Shutdown must close every live connection, promptly, and
+        // without needing the drain-kill hammer (they are all idle).
         let start = std::time::Instant::now();
         server.shutdown();
         assert!(
@@ -652,7 +1159,8 @@ mod tests {
             "shutdown took {:?}",
             start.elapsed()
         );
-        for stream in [busy, queued_a, queued_b] {
+        assert_eq!(registry.accept_counters().snapshot().drain_killed, 0);
+        for stream in [a, b, c] {
             let mut reader = BufReader::new(stream);
             let got: io::Result<Option<Response>> = read_message(&mut reader);
             assert!(!matches!(got, Ok(Some(_))), "unexpected message {got:?}");

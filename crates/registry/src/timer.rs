@@ -1,0 +1,187 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The event loop arms one deadline per connection (the read/idle
+//! timeout) and re-arms it on every activity. A [`TimerWheel`] makes
+//! both operations O(1): deadlines hash into one of `SLOTS` coarse
+//! buckets by tick number, and each loop iteration drains only the
+//! buckets the clock has passed. Entries carry a `(token, generation)`
+//! pair; re-arming bumps the connection's generation instead of hunting
+//! down the stale entry, so cancels are free and expirations are
+//! validated against the connection's current generation by the caller.
+
+use std::time::{Duration, Instant};
+
+/// Bucket count — a power of two so the slot index is a mask.
+const SLOTS: usize = 256;
+
+/// One armed deadline.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Absolute tick the deadline falls on.
+    tick: u64,
+    /// Caller token (connection id).
+    token: u64,
+    /// Caller generation; stale entries are discarded on expiry.
+    generation: u64,
+}
+
+/// A coarse-grained hashed timer wheel over [`Instant`] deadlines.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    origin: Instant,
+    /// The last tick fully drained.
+    cursor: u64,
+    /// Armed (possibly stale) entries across all slots.
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel that rounds deadlines up to `granularity` (clamped to at
+    /// least one millisecond).
+    pub fn new(granularity: Duration) -> Self {
+        let granularity = granularity.max(Duration::from_millis(1));
+        Self {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            granularity,
+            origin: Instant::now(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.origin);
+        // Round up: a deadline never fires early.
+        (since.as_nanos() / self.granularity.as_nanos()) as u64 + 1
+    }
+
+    /// Arm a deadline for `token` at `deadline` under `generation`.
+    pub fn insert(&mut self, deadline: Instant, token: u64, generation: u64) {
+        let tick = self.tick_of(deadline).max(self.cursor + 1);
+        self.slots[(tick as usize) & (SLOTS - 1)].push(Entry {
+            tick,
+            token,
+            generation,
+        });
+        self.len += 1;
+    }
+
+    /// Entries currently armed (stale generations included until their
+    /// tick drains).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How long [`Self::expire`] can be postponed: the time to the next
+    /// tick boundary, or `None` when nothing is armed. This is a lower
+    /// bound per-wheel-granularity, not a per-entry exact value — the
+    /// poller simply ticks at wheel granularity while timers exist.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.is_empty() {
+            return None;
+        }
+        let next_boundary = self
+            .origin
+            .checked_add(self.granularity * (self.cursor + 1) as u32);
+        match next_boundary {
+            Some(b) => Some(
+                b.saturating_duration_since(now)
+                    .max(Duration::from_millis(1)),
+            ),
+            None => Some(self.granularity),
+        }
+    }
+
+    /// Drain every entry whose tick the clock has passed, invoking
+    /// `expired(token, generation)` for each. The caller compares the
+    /// generation against the connection's current one and ignores
+    /// stale fires.
+    pub fn expire(&mut self, now: Instant, mut expired: impl FnMut(u64, u64)) {
+        let now_tick = self.tick_of(now).saturating_sub(1);
+        while self.cursor < now_tick {
+            self.cursor += 1;
+            let cursor = self.cursor;
+            let slot = &mut self.slots[(cursor as usize) & (SLOTS - 1)];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].tick <= cursor {
+                    let e = slot.swap_remove(i);
+                    self.len -= 1;
+                    expired(e.token, e.generation);
+                } else {
+                    // A future lap of the wheel; leave it.
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_fires_after_but_not_before() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10));
+        let now = Instant::now();
+        wheel.insert(now + Duration::from_millis(35), 1, 0);
+        let mut fired = Vec::new();
+        wheel.expire(now + Duration::from_millis(20), |t, g| fired.push((t, g)));
+        assert!(fired.is_empty(), "fired early: {fired:?}");
+        wheel.expire(now + Duration::from_millis(60), |t, g| fired.push((t, g)));
+        assert_eq!(fired, vec![(1, 0)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn rearm_is_generation_based() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10));
+        let now = Instant::now();
+        // Arm gen 0, then "re-arm" by inserting gen 1 later: both fire
+        // eventually, and the caller drops the stale gen-0 fire.
+        wheel.insert(now + Duration::from_millis(20), 7, 0);
+        wheel.insert(now + Duration::from_millis(200), 7, 1);
+        let mut fired = Vec::new();
+        wheel.expire(now + Duration::from_millis(100), |t, g| fired.push((t, g)));
+        assert_eq!(fired, vec![(7, 0)], "only the stale fire so far");
+        wheel.expire(now + Duration::from_millis(400), |t, g| fired.push((t, g)));
+        assert_eq!(fired, vec![(7, 0), (7, 1)]);
+    }
+
+    #[test]
+    fn distant_deadlines_survive_full_laps() {
+        let granularity = Duration::from_millis(1);
+        let mut wheel = TimerWheel::new(granularity);
+        let now = Instant::now();
+        // > SLOTS ticks out: shares a slot with earlier laps.
+        let far = now + granularity * (SLOTS as u32 * 3 + 5);
+        let near = now + granularity * 5;
+        wheel.insert(far, 2, 0);
+        wheel.insert(near, 1, 0);
+        let mut fired = Vec::new();
+        wheel.expire(now + granularity * (SLOTS as u32), |t, _| fired.push(t));
+        assert_eq!(fired, vec![1], "far deadline must not fire a lap early");
+        wheel.expire(now + granularity * (SLOTS as u32 * 4), |t, _| fired.push(t));
+        assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_armed_state() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10));
+        let now = Instant::now();
+        assert_eq!(wheel.next_timeout(now), None);
+        wheel.insert(now + Duration::from_millis(50), 1, 0);
+        let t = wheel.next_timeout(now).unwrap();
+        assert!(t <= Duration::from_millis(11), "{t:?}");
+        wheel.expire(now + Duration::from_millis(100), |_, _| {});
+        assert_eq!(wheel.next_timeout(now), None);
+    }
+}

@@ -27,7 +27,9 @@
 //!   selection.
 //! * [`registry`] (`servet-registry`) — the serving layer: a
 //!   content-addressed profile store, sharded caches, a memoized advice
-//!   engine, and a threaded TCP server (`servet serve` / `servet query`).
+//!   engine, and an event-driven TCP server that multiplexes thousands
+//!   of connections over a fixed worker pool (`servet serve` /
+//!   `servet query` / `servet loadgen`).
 //! * [`stats`] (`servet-stats`) — binomial tails, gradients, clustering,
 //!   union-find, regression.
 //! * [`obs`] (`servet-obs`) — spans, counters, and latency histograms;

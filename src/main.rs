@@ -42,6 +42,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("zoo") => cmd_zoo(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("help") | None => {
             print_help();
@@ -85,7 +86,8 @@ fn print_help() {
          \x20 servet advise tile --profile FILE [--level L] [--json]\n\
          \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B] [--json]\n\
          \x20 servet advise padding --profile FILE [--json]\n\
-         \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] [--workers N] [--backlog N]\n\
+         \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] [--workers N]\n\
+         \x20              [--backlog N] [--max-conns N] [--drain-grace-ms N]\n\
          \x20                                                    run the profile registry daemon\n\
          \x20 servet query put --profile FILE [--name NAME] [--addr A]\n\
          \x20 servet query get --key KEY [--json] [--addr A]\n\
@@ -97,6 +99,12 @@ fn print_help() {
          \x20                                                    measure a population of perturbed\n\
          \x20                                                    machines, stream profiles to a\n\
          \x20                                                    registry, score detection accuracy\n\
+         \x20 servet loadgen [--addr A] [--conns N] [--ops N] [--op-workers N]\n\
+         \x20                [--mode closed|open --rate R] [--hold-ms N] [--out FILE]\n\
+         \x20                [--check] [--max-p99-ms N] [--seed S]\n\
+         \x20                                                    hold N connections against a registry\n\
+         \x20                                                    while driving request traffic; report\n\
+         \x20                                                    throughput + p50/p99/p999 latency\n\
          \x20 servet machines                                    list simulated presets\n\
          \n\
          GLOBAL FLAGS:\n\
@@ -372,7 +380,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let Some(dir) = flag_value(args, "--dir") else {
         eprintln!(
             "usage: servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] \
-             [--workers N] [--backlog N]"
+             [--workers N] [--backlog N] [--max-conns N] [--drain-grace-ms N]"
         );
         return 2;
     };
@@ -387,6 +395,12 @@ fn cmd_serve(args: &[String]) -> i32 {
     let backlog: usize = flag_value(args, "--backlog")
         .and_then(|v| v.parse().ok())
         .unwrap_or(defaults.backlog);
+    let max_conns: usize = flag_value(args, "--max-conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.max_conns);
+    let drain_grace_ms: u64 = flag_value(args, "--drain-grace-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.drain_grace.as_millis() as u64);
     let registry = match Registry::open(dir) {
         Ok(r) => Arc::new(r),
         Err(e) => {
@@ -400,16 +414,19 @@ fn cmd_serve(args: &[String]) -> i32 {
         read_timeout: Duration::from_millis(read_timeout_ms.max(1)),
         workers: workers.max(1),
         backlog,
+        max_conns: max_conns.max(1),
+        drain_grace: Duration::from_millis(drain_grace_ms),
         ..defaults
     };
     match serve(registry, addr, config) {
         Ok(handle) => {
             println!(
                 "servet-registry: serving profiles from {dir} on {} \
-                 ({} workers, backlog {})",
+                 ({} workers, queue {}, up to {} connections)",
                 handle.addr(),
                 workers.max(1),
-                backlog
+                backlog,
+                max_conns.max(1)
             );
             handle.join();
             0
@@ -580,17 +597,31 @@ fn cmd_query(args: &[String]) -> i32 {
                             stats.profile_misses
                         );
                         println!(
-                            "accept queue: accepted {}  rejected {}  depth {}  high-water {}",
+                            "accept queue: accepted {}  rejected {}  depth {}  high-water {}  \
+                             drain-killed {}",
                             stats.accept.accepted,
                             stats.accept.rejected,
                             stats.accept.queue_depth,
-                            stats.accept.queue_depth_max
+                            stats.accept.queue_depth_max,
+                            stats.accept.drain_killed
+                        );
+                        println!(
+                            "event loop: conns {}/{} (open/peak)  ready {}  wakeups {}  \
+                             partial-reads {}  deadline-kills {}  oversized {}",
+                            stats.events.conns_open,
+                            stats.events.conns_peak,
+                            stats.events.ready_events,
+                            stats.events.wakeups,
+                            stats.events.partial_reads,
+                            stats.events.deadline_kills,
+                            stats.events.oversized_rejected
                         );
                         if !stats.ops.is_empty() {
                             println!("request latency per op:");
                             for op in &stats.ops {
                                 println!(
-                                    "  {:<8} n={:<8} mean={:<10} p50={:<10} p99={:<10} max={}",
+                                    "  {:<8} n={:<8} mean={:<10} p50={:<10} p99={:<10} \
+                                     p999={:<10} max={}",
                                     op.op,
                                     op.count,
                                     format_ns(if op.count == 0 {
@@ -600,6 +631,7 @@ fn cmd_query(args: &[String]) -> i32 {
                                     }),
                                     format_ns(op.p50_ns),
                                     format_ns(op.p99_ns),
+                                    format_ns(op.p999_ns),
                                     format_ns(op.max_ns),
                                 );
                             }
@@ -710,10 +742,17 @@ fn cmd_zoo(args: &[String]) -> i32 {
         "zoo: measuring {machines} machines (seed {seed}) on {} worker(s) ...",
         config.workers.max(1)
     );
-    let report = match run_zoo(&config, |_worker| {
+    let report = match run_zoo(&config, |worker| {
         Ok(stream_addr.map(|addr| {
+            // Decorrelate the workers' retry backoff streams: a shared
+            // seed would make every rejected worker sleep in lockstep
+            // and re-collide on the same accept queue.
+            let policy = RetryPolicy {
+                jitter_seed: seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ..RetryPolicy::default()
+            };
             Box::new(RegistrySink {
-                client: RetryingRegistryClient::new(addr, RetryPolicy::default()),
+                client: RetryingRegistryClient::new(addr, policy),
             }) as Box<dyn ProfileSink>
         }))
     }) {
@@ -784,6 +823,130 @@ fn cmd_zoo(args: &[String]) -> i32 {
     }
     println!("zoo report written to {out}");
     0
+}
+
+/// `servet loadgen`: hold a connection plateau against a registry while
+/// driving request traffic through it, then report the latency
+/// trajectory. `--check` turns the report into a pass/fail gate for CI.
+fn cmd_loadgen(args: &[String]) -> i32 {
+    use servet::registry::loadgen::{self, LoadgenConfig, Mode};
+
+    let addr_str = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let addr = match std::net::ToSocketAddrs::to_socket_addrs(&addr_str).map(|mut a| a.next()) {
+        Ok(Some(addr)) => addr,
+        _ => {
+            eprintln!("cannot resolve {addr_str}");
+            return 2;
+        }
+    };
+    let defaults = LoadgenConfig::default();
+    let conns: usize = flag_value(args, "--conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.conns);
+    let ops: u64 = flag_value(args, "--ops")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.ops);
+    let op_workers: usize = flag_value(args, "--op-workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.op_workers);
+    let hold_ms: u64 = flag_value(args, "--hold-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.hold.as_millis() as u64);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(defaults.seed);
+    let mode = match flag_value(args, "--mode").unwrap_or("closed") {
+        "closed" => Mode::Closed,
+        "open" => {
+            let rate_hz: f64 = flag_value(args, "--rate")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000.0);
+            Mode::Open { rate_hz }
+        }
+        other => {
+            eprintln!("unknown --mode '{other}' (closed|open)");
+            return 2;
+        }
+    };
+    let config = LoadgenConfig {
+        addr,
+        conns,
+        ops,
+        op_workers: op_workers.max(1),
+        mode,
+        hold: Duration::from_millis(hold_ms),
+        seed,
+        ..defaults
+    };
+
+    eprintln!(
+        "loadgen: holding {conns} connection(s) against {addr} for {hold_ms} ms, \
+         {ops} op(s) over {} worker(s) ...",
+        config.op_workers
+    );
+    let report = match loadgen::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            return 1;
+        }
+    };
+
+    println!(
+        "held {}/{} conns  connect-failures {}  busy-rejects {}  early-closes {}",
+        report.conns_opened,
+        report.conns_target,
+        report.connect_failures,
+        report.busy_rejects,
+        report.early_closes
+    );
+    if report.ops_requested > 0 {
+        println!(
+            "ops {}/{} ok ({} failed)  {:.0} ops/s",
+            report.ops_done, report.ops_requested, report.ops_failed, report.throughput_ops_per_s
+        );
+        if let Some(l) = &report.latency {
+            println!(
+                "latency: mean={} p50={} p99={} p999={} max={}",
+                format_ns(l.mean_ns),
+                format_ns(l.p50_ns),
+                format_ns(l.p99_ns),
+                format_ns(l.p999_ns),
+                format_ns(l.max_ns)
+            );
+        }
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        if let Err(e) = servet::core::profile::write_atomic(out, report.to_json().as_bytes()) {
+            eprintln!("cannot write {out}: {e}");
+            return 1;
+        }
+        println!("loadgen report written to {out}");
+    }
+
+    // CI gates: --check demands a clean steady state, --max-p99-ms
+    // bounds the request-latency tail.
+    let mut failed = false;
+    if has_flag(args, "--check") && !report.clean() {
+        eprintln!("loadgen --check FAILED: rejects, early closes, or failed ops observed");
+        failed = true;
+    }
+    if let Some(max_p99_ms) = flag_value(args, "--max-p99-ms").and_then(|v| v.parse::<u64>().ok()) {
+        let p99_ns = report.latency.map(|l| l.p99_ns).unwrap_or(0);
+        if p99_ns > max_p99_ms * 1_000_000 {
+            eprintln!(
+                "loadgen --max-p99-ms FAILED: p99 {} exceeds {} ms",
+                format_ns(p99_ns),
+                max_p99_ms
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
 }
 
 fn print_profile(profile: &MachineProfile) {

@@ -245,6 +245,7 @@ fn hammer_64_concurrent_connections_with_bounded_pool() {
             workers: WORKERS,
             backlog: CLIENTS,
             thread_prefix: "hammer64".into(),
+            ..ServerConfig::default()
         },
     );
     let base = measured_tiny_profile();
