@@ -1,0 +1,69 @@
+//! Criterion benchmarks of search-based autotuning: what one oracle
+//! evaluation costs on each oracle, and what a full search session
+//! costs per strategy — the numbers behind `EXPERIMENTS.md`'s
+//! BENCH_tune section.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use servet_sim::presets;
+use servet_tune::compare::ground_truth_profile;
+use servet_tune::{tune, Oracle, ProfileOracle, SimOracle, Strategy, TuneOptions};
+
+fn bench_oracle_evaluation(c: &mut Criterion) {
+    let sim = SimOracle::new(presets::tiny_smp(), 42, 32);
+    let profile = ProfileOracle::new(ground_truth_profile(&presets::tiny_smp()), 32);
+    let config = sim.space().config(&sim.space().midpoint());
+    let mut group = c.benchmark_group("tune_oracle");
+    group.bench_function("sim_trace_replay", |b| {
+        b.iter(|| black_box(sim.evaluate(&config)));
+    });
+    group.bench_function("profile_closed_form", |b| {
+        b.iter(|| black_box(profile.evaluate(&config)));
+    });
+    group.finish();
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    // The closed-form oracle isolates search overhead from oracle cost.
+    let oracle = ProfileOracle::new(ground_truth_profile(&presets::dunnington()), 64);
+    let space = oracle.space();
+    let mut group = c.benchmark_group("tune_search");
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                let options = TuneOptions::new(strategy);
+                b.iter(|| black_box(tune(&oracle, &space, &options, 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // Exhaustive over the simulator oracle is the expensive real case;
+    // worker counts shift wall time but never the outcome.
+    let oracle = SimOracle::new(presets::tiny_smp(), 42, 24);
+    let space = oracle.space();
+    let options = TuneOptions::new(Strategy::Exhaustive);
+    let mut group = c.benchmark_group("tune_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| black_box(tune(&oracle, &space, &options, w)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oracle_evaluation,
+    bench_search_strategies,
+    bench_parallel_scaling
+);
+criterion_main!(benches);

@@ -262,7 +262,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
 
 /// Run the complete suite as a *pure* function of the platform and
 /// config: every span and counter the run produces is collected into a
-/// private per-run scope and returned inside an exact [`RunManifest`],
+/// private per-run scope and returned inside an exact [`RunManifest`](crate::manifest::RunManifest),
 /// untouched by whatever other runs execute concurrently in the process.
 ///
 /// This is the entry point for batched drivers (the machine zoo) and for

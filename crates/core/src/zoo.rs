@@ -5,7 +5,7 @@
 //! scales that validation: it generates a seeded population of perturbed
 //! [`MachineSpec`]s from the small presets (cache sizes, associativities,
 //! sharing topologies, bus capacities and noise all vary — see
-//! [`servet_sim::perturb`]), fans the full suite out across worker
+//! [`servet_sim::perturb()`]), fans the full suite out across worker
 //! threads, optionally streams every profile into a registry through a
 //! [`ProfileSink`], and aggregates a [`ZooReport`]: per-field detection
 //! accuracy against each spec's ground truth plus per-stage virtual-time
@@ -13,7 +13,7 @@
 //!
 //! Everything is deterministic in `(seed, machines)`: per-machine RNG
 //! streams are derived from the zoo seed, each run goes through the
-//! scope-pure [`run_suite`](crate::suite::run_suite), results land in
+//! scope-pure [`run_suite`], results land in
 //! index-ordered slots, and the report holds only virtual (ledger) times —
 //! so the same seed yields a byte-identical report **regardless of the
 //! worker count**.

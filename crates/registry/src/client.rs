@@ -116,6 +116,28 @@ impl RegistryClient {
         }
     }
 
+    /// Run (or recall) a tuning session; returns `(digest, cached,
+    /// outcome)`.
+    pub fn tune(
+        &mut self,
+        key: &str,
+        query: &crate::tune::TuneQuery,
+    ) -> io::Result<(String, bool, servet_tune::TuneOutcome)> {
+        let resp = self.call(&Request::Tune {
+            key: key.to_string(),
+            query: query.clone(),
+        })?;
+        match resp {
+            Response::Tuned {
+                digest,
+                cached,
+                outcome,
+            } => Ok((digest, cached, outcome)),
+            Response::Error { error } => Err(protocol_error(error)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Fetch server counters.
     pub fn stats(&mut self) -> io::Result<crate::protocol::ServerStats> {
         match self.call(&Request::Stats)? {

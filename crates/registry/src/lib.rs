@@ -15,6 +15,10 @@
 //!   `select_tile`, `select_broadcast`) behind one serde query/outcome
 //!   type, memoized per `(digest, query)` — content addressing makes
 //!   answers immortal.
+//! * [`tune`] — search-based tuning sessions (the `servet-tune`
+//!   strategies over the profile-oracle cost model), memoized per
+//!   `(digest, space digest, options)` so a session is computed once per
+//!   stored profile, ever.
 //! * [`registry`] — store + caches behind a single request dispatch.
 //! * [`protocol`] — the newline-delimited JSON wire types (documented in
 //!   `DESIGN.md`).
@@ -64,6 +68,7 @@ pub mod registry;
 pub mod server;
 pub mod store;
 pub mod timer;
+pub mod tune;
 
 pub use advice::{compute_advice, AdviceEngine, AdviceOutcome, AdviceQuery};
 pub use cache::{CacheStats, ShardedCache};
@@ -78,6 +83,7 @@ pub use protocol::{
 pub use registry::{AcceptCounters, EventCounters, Registry};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{canonical_json, profile_digest, ProfileStore, StoreEntry};
+pub use tune::{TuneEngine, TuneQuery};
 
 /// The common imports for serving and querying.
 pub mod prelude {
@@ -87,4 +93,5 @@ pub mod prelude {
     pub use crate::registry::Registry;
     pub use crate::server::{serve, ServerConfig};
     pub use crate::store::profile_digest;
+    pub use crate::tune::{TuneEngine, TuneQuery};
 }

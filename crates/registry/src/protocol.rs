@@ -10,9 +10,11 @@
 use crate::advice::{AdviceOutcome, AdviceQuery};
 use crate::cache::CacheStats;
 use crate::store::StoreEntry;
+use crate::tune::TuneQuery;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use servet_core::profile::MachineProfile;
+use servet_tune::TuneOutcome;
 use std::io::{self, BufRead, Write};
 
 /// Prefix of the [`Response::Error`] diagnostic written when the server
@@ -68,6 +70,15 @@ pub enum Request {
         /// The advice query.
         query: AdviceQuery,
     },
+    /// Run (or recall) a search-based tuning session against a stored
+    /// profile.
+    Tune {
+        /// Alias, digest, or unique digest prefix.
+        key: String,
+        /// The tuning query: space (optional), strategy options, kernel
+        /// size.
+        query: TuneQuery,
+    },
     /// Fetch server counters.
     Stats,
 }
@@ -82,7 +93,8 @@ pub enum Request {
 /// empty vec.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpLatency {
-    /// Operation name: `put`, `get`, `list`, `advise`, or `stats`.
+    /// Operation name: `put`, `get`, `list`, `advise`, `tune`, or
+    /// `stats`.
     pub op: String,
     /// Requests of this operation observed.
     pub count: u64,
@@ -267,6 +279,15 @@ pub enum Response {
         cached: bool,
         /// The outcome, shared with `servet advise --json`.
         outcome: AdviceOutcome,
+    },
+    /// A tuning answer.
+    Tuned {
+        /// The resolved digest the session ran against.
+        digest: String,
+        /// Whether the memo cache served it.
+        cached: bool,
+        /// The outcome, shared with `servet tune --json`.
+        outcome: TuneOutcome,
     },
     /// Server counters.
     Stats {

@@ -6,9 +6,11 @@
 use crate::advice::{AdviceEngine, AdviceQuery};
 use crate::cache::ShardedCache;
 use crate::protocol::{AcceptStats, EventStats, OpLatency, Request, Response, ServerStats};
-use crate::store::{profile_digest, ProfileStore, StoreEntry};
+use crate::store::{ProfileStore, StoreEntry};
+use crate::tune::{TuneEngine, TuneQuery};
 use servet_core::profile::MachineProfile;
 use servet_obs::Histogram;
+use servet_tune::TuneOutcome;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,6 +26,7 @@ struct OpMetrics {
     get: Histogram,
     list: Histogram,
     advise: Histogram,
+    tune: Histogram,
     stats: Histogram,
 }
 
@@ -34,6 +37,7 @@ impl OpMetrics {
             Request::Get { .. } => &self.get,
             Request::List => &self.list,
             Request::Advise { .. } => &self.advise,
+            Request::Tune { .. } => &self.tune,
             Request::Stats => &self.stats,
         }
     }
@@ -45,6 +49,7 @@ impl OpMetrics {
             ("get", &self.get),
             ("list", &self.list),
             ("advise", &self.advise),
+            ("tune", &self.tune),
             ("stats", &self.stats),
         ]
         .into_iter()
@@ -196,6 +201,7 @@ pub struct Registry {
     /// skips disk and JSON parsing.
     profiles: ShardedCache<String, Arc<MachineProfile>>,
     advice: AdviceEngine,
+    tuner: TuneEngine,
     requests: AtomicU64,
     ops: OpMetrics,
     accept: AcceptCounters,
@@ -209,6 +215,7 @@ impl Registry {
             store: ProfileStore::open(dir)?,
             profiles: ShardedCache::new(8, 64),
             advice: AdviceEngine::new(),
+            tuner: TuneEngine::new(),
             requests: AtomicU64::new(0),
             ops: OpMetrics::default(),
             accept: AcceptCounters::default(),
@@ -270,6 +277,20 @@ impl Registry {
             return Ok(None);
         };
         let (outcome, cached) = self.advice.advise(&digest, &profile, query);
+        Ok(Some((digest, outcome, cached)))
+    }
+
+    /// Run (or recall) a tuning session for the profile under `key`; the
+    /// bool reports a memo hit.
+    pub fn tune(
+        &self,
+        key: &str,
+        query: &TuneQuery,
+    ) -> io::Result<Option<(String, Result<TuneOutcome, String>, bool)>> {
+        let Some((digest, profile)) = self.get(key)? else {
+            return Ok(None);
+        };
+        let (outcome, cached) = self.tuner.tune(&digest, &profile, query);
         Ok(Some((digest, outcome, cached)))
     }
 
@@ -353,6 +374,20 @@ impl Registry {
                     error: e.to_string(),
                 },
             },
+            Request::Tune { key, query } => match self.tune(&key, &query) {
+                Ok(Some((digest, Ok(outcome), cached))) => Response::Tuned {
+                    digest,
+                    cached,
+                    outcome,
+                },
+                Ok(Some((_, Err(error), _))) => Response::Error { error },
+                Ok(None) => Response::Error {
+                    error: format!("no profile matches {key:?}"),
+                },
+                Err(e) => Response::Error {
+                    error: e.to_string(),
+                },
+            },
             Request::Stats => Response::Stats {
                 stats: self.stats(),
             },
@@ -363,6 +398,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::profile_digest;
     use servet_core::suite::{run_full_suite, SuiteConfig};
     use servet_core::SimPlatform;
 
@@ -519,6 +555,66 @@ mod tests {
         assert_eq!(snap.deadline_kills, 1);
         assert_eq!(snap.oversized_rejected, 1);
         assert_eq!(registry.stats().events, snap);
+    }
+
+    #[test]
+    fn tune_dispatch_memoizes_and_reports_latency() {
+        use servet_tune::{Strategy, TuneOptions};
+        let registry = temp_registry("tune");
+        // Storing canonicalizes through serde_json; skip where it is a
+        // panicking stub (the engine-level tests in `tune.rs` still run).
+        let stored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.put(measured_profile(), Some("tiny"))
+        }));
+        let Ok(Ok(_)) = stored else {
+            eprintln!("serde_json unavailable (stub); skipping dispatch test");
+            return;
+        };
+        let request = Request::Tune {
+            key: "tiny".into(),
+            query: TuneQuery {
+                space: None,
+                options: TuneOptions::new(Strategy::Line),
+                n: 64,
+            },
+        };
+        let first = match registry.handle(request.clone()) {
+            Response::Tuned {
+                cached, outcome, ..
+            } => {
+                assert!(!cached, "first session computes");
+                outcome
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        match registry.handle(request) {
+            Response::Tuned {
+                cached, outcome, ..
+            } => {
+                assert!(cached, "second identical session is memoized");
+                assert_eq!(outcome, first);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match registry.handle(Request::Stats) {
+            Response::Stats { stats } => {
+                let op = stats.ops.iter().find(|o| o.op == "tune").expect("tune op");
+                assert_eq!(op.count, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown key: typed error, not a panic.
+        match registry.handle(Request::Tune {
+            key: "ghost".into(),
+            query: TuneQuery {
+                space: None,
+                options: TuneOptions::new(Strategy::MonteCarlo),
+                n: 64,
+            },
+        }) {
+            Response::Error { error } => assert!(error.contains("ghost")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

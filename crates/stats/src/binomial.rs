@@ -18,7 +18,7 @@
 //! using the companion recurrence in `n`,
 //! `P(B(n+1,p) > k) = P(B(n,p) > k) + p·P(B(n,p) = k)`.
 //!
-//! The pre-recurrence per-term kernels survive in [`reference`] as the
+//! The pre-recurrence per-term kernels survive in [`mod@reference`] as the
 //! ground truth for the property tests and as the baseline of the `fit`
 //! Criterion bench.
 

@@ -1,0 +1,554 @@
+//! Evaluation oracles: what a search strategy asks "how fast is this
+//! configuration?".
+//!
+//! Two implementations with deliberately different semantics:
+//!
+//! * [`SimOracle`] **simulates** the kernel. It replays the exact access
+//!   trace of a threaded, blocked matrix multiply on a
+//!   [`servet_sim::Machine`] (via the lockstep
+//!   [`servet_sim::machine::TraceJob`] engine) and scores a
+//!   configuration by its makespan in cycles. Tiling, thread count,
+//!   placement, and accumulator padding all change the trace or the
+//!   core mapping, so their costs emerge from the cache/coherence/bus
+//!   models for the same reasons they do on hardware.
+//! * [`ProfileOracle`] **prices** the kernel with a closed-form cost
+//!   model over a measured [`MachineProfile`] — the mcalibrator curve
+//!   for the tile's working set, the §III-C concurrency advice for bus
+//!   saturation, the Fig. 5 sharing groups for placement, and the
+//!   false-sharing sweep for padding. It is not a simulation: it is the
+//!   cheap oracle a *registry* can serve about a machine it has never
+//!   run on, and the cross-check that search over it lands near the
+//!   analytic advice derived from the same profile.
+//!
+//! Both are deterministic and [`Sync`], so strategies may score
+//! candidates from parallel workers in any order and still produce
+//! bit-identical results.
+
+use crate::space::{Config, Param, ParamSpace};
+use serde::{Deserialize, Serialize};
+use servet_autotune::concurrency::advise_memory_threads;
+use servet_autotune::padding::advise_padding;
+use servet_autotune::tiling::select_tile;
+use servet_core::profile::MachineProfile;
+use servet_sim::{Machine, MachineSpec, TraceJob};
+
+/// Dimension name of the tile edge (elements).
+pub const TILE: &str = "tile";
+/// Dimension name of the thread count.
+pub const THREADS: &str = "threads";
+/// Dimension name of the placement policy: `0` = compact (thread *t* on
+/// core *t*), `1` = spread (threads strided across the cores, one per
+/// sharing group first).
+pub const PLACEMENT: &str = "placement";
+/// Dimension name of the per-thread accumulator padding (bytes between
+/// per-thread slots of the shared accumulator array).
+pub const PAD: &str = "pad";
+
+/// Largest accumulator padding the kernel arena reserves room for.
+const MAX_PAD: u64 = 4096;
+/// One accumulator store is issued every this many inner-loop updates.
+const ACC_EVERY: usize = 16;
+
+/// A deterministic, thread-safe cost function over configurations.
+/// Lower scores are better.
+pub trait Oracle: Sync {
+    /// Human-readable oracle name, recorded in tune reports.
+    fn name(&self) -> String;
+    /// Score one configuration. Must be deterministic and free of
+    /// interior mutability — strategies call it from several threads.
+    fn evaluate(&self, config: &Config) -> f64;
+}
+
+/// The standard kernel space for an `n × n` blocked matmul on a machine
+/// with `cores` cores: tile edges (powers of two from 8 up to
+/// `min(n, 64)`), thread counts (powers of two up to `cores`), the
+/// placement policy, and the accumulator padding (packed / one line /
+/// four lines).
+pub fn kernel_space(cores: usize, n: usize) -> ParamSpace {
+    assert!(n >= 8, "kernel needs n >= 8");
+    let max_tile_exp = (n.min(64) as f64).log2() as u32;
+    let max_thread_exp = (cores.max(1) as f64).log2() as u32;
+    ParamSpace::new(vec![
+        Param::log2(TILE, 3, max_tile_exp.max(3)),
+        Param::log2(THREADS, 0, max_thread_exp),
+        Param::fixed_set(PLACEMENT, &[0, 1]),
+        Param::fixed_set(PAD, &[8, 64, 256]),
+    ])
+}
+
+/// Read a dimension with a default, so oracles accept partial configs
+/// (a space without a `pad` dimension still evaluates).
+fn value(config: &Config, name: &str, default: u64) -> u64 {
+    config.get(name).copied().unwrap_or(default)
+}
+
+/// The access trace of one thread's share of the blocked multiply:
+/// rows `[r0, r1)` of `C += A × B` in i-k-j tile order, with a store to
+/// this thread's accumulator slot every [`ACC_EVERY`] updates.
+fn thread_trace(n: usize, tile: usize, rows: (usize, usize), acc_addr: u64) -> Vec<(u64, bool)> {
+    let elem = 8u64;
+    let b_base = (n * n) as u64 * elem;
+    let c_base = 2 * b_base;
+    let addr = |base: u64, r: usize, c: usize| base + ((r * n + c) as u64) * elem;
+    let t = tile.clamp(1, n);
+    let mut steps = Vec::new();
+    let mut since_acc = 0usize;
+    let mut ib = rows.0;
+    while ib < rows.1 {
+        let mut kb = 0;
+        while kb < n {
+            let mut jb = 0;
+            while jb < n {
+                for i in ib..(ib + t).min(rows.1) {
+                    for k in kb..(kb + t).min(n) {
+                        steps.push((addr(0, i, k), false));
+                        for j in jb..(jb + t).min(n) {
+                            steps.push((addr(b_base, k, j), false));
+                            steps.push((addr(c_base, i, j), true));
+                            since_acc += 1;
+                            if since_acc == ACC_EVERY {
+                                steps.push((acc_addr, true));
+                                since_acc = 0;
+                            }
+                        }
+                    }
+                }
+                jb += t;
+            }
+            kb += t;
+        }
+        ib += t;
+    }
+    steps
+}
+
+/// Cycle cost of the threaded blocked matmul on a simulated machine.
+///
+/// Every evaluation builds a fresh [`Machine`] from the spec and seed
+/// (page placement included), allocates one *shared* arena holding A, B,
+/// C and the per-thread accumulators, and replays all thread traces in
+/// lockstep. The score is the makespan: the slowest thread's finish
+/// time in cycles.
+pub struct SimOracle {
+    spec: MachineSpec,
+    seed: u64,
+    n: usize,
+}
+
+impl SimOracle {
+    /// An oracle for an `n × n` matmul on `spec`, with `seed` driving
+    /// the simulator's page allocator.
+    pub fn new(spec: MachineSpec, seed: u64, n: usize) -> Self {
+        assert!(n >= 8, "kernel needs n >= 8");
+        Self { spec, seed, n }
+    }
+
+    /// The machine being simulated.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Matrix edge length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The standard kernel space for this machine and problem size.
+    pub fn space(&self) -> ParamSpace {
+        kernel_space(self.spec.num_cores, self.n)
+    }
+}
+
+impl Oracle for SimOracle {
+    fn name(&self) -> String {
+        format!("sim:{}:n{}", self.spec.name, self.n)
+    }
+
+    fn evaluate(&self, config: &Config) -> f64 {
+        let n = self.n;
+        let cores = self.spec.num_cores;
+        let tile = value(config, TILE, 8).clamp(1, n as u64) as usize;
+        let threads = value(config, THREADS, 1).clamp(1, cores as u64) as usize;
+        let spread = value(config, PLACEMENT, 0) != 0;
+        let pad = value(config, PAD, 64).clamp(8, MAX_PAD);
+
+        let mut m = Machine::with_seed(self.spec.clone(), self.seed);
+        let arena = m.alloc_shared_array(3 * n * n * 8 + cores * MAX_PAD as usize + 64);
+        m.reset();
+        let acc_base = (3 * n * n * 8) as u64;
+        let stride = (cores / threads).max(1);
+        let traces: Vec<(usize, Vec<(u64, bool)>)> = (0..threads)
+            .filter_map(|t| {
+                let rows = (t * n / threads, (t + 1) * n / threads);
+                if rows.0 == rows.1 {
+                    return None; // more threads than rows: this one idles
+                }
+                let core = if spread {
+                    (t * stride) % cores
+                } else {
+                    t % cores
+                };
+                let acc = acc_base + t as u64 * pad;
+                Some((core, thread_trace(n, tile, rows, acc)))
+            })
+            .collect();
+        let jobs: Vec<TraceJob<'_>> = traces
+            .iter()
+            .map(|(core, steps)| TraceJob {
+                core: *core,
+                array: &arena,
+                steps,
+            })
+            .collect();
+        m.run_traces(&jobs)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Closed-form cost model of the same kernel over a measured profile.
+///
+/// The score is *predicted* cycles: per-access cost of the tile's
+/// working set read off the mcalibrator curve (or classified against
+/// the detected cache sizes when the curve is absent), divided by the
+/// thread count, then multiplied by contention factors for bus
+/// saturation (§III-C advice), compact placement into shared caches
+/// (Fig. 5 groups), and under-padded accumulators (false-sharing
+/// sweep). Scores are comparable *within* this oracle, not against
+/// [`SimOracle`] cycles.
+pub struct ProfileOracle {
+    profile: MachineProfile,
+    n: usize,
+}
+
+impl ProfileOracle {
+    /// An oracle pricing an `n × n` matmul against `profile`.
+    pub fn new(profile: MachineProfile, n: usize) -> Self {
+        assert!(n >= 8, "kernel needs n >= 8");
+        Self { profile, n }
+    }
+
+    /// The profile being priced against.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// Matrix edge length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The standard kernel space for the profiled machine.
+    pub fn space(&self) -> ParamSpace {
+        kernel_space(self.profile.total_cores.max(1), self.n)
+    }
+
+    /// Per-access cycles at working-set size `ws`: linear interpolation
+    /// on the measured mcalibrator curve, else a coarse classification
+    /// against the detected cache sizes.
+    fn per_access_cycles(&self, ws: usize) -> f64 {
+        if let Some(mc) = &self.profile.mcalibrator {
+            if !mc.sizes.is_empty() && mc.sizes.len() == mc.cycles.len() {
+                let w = ws as f64;
+                if w <= mc.sizes[0] as f64 {
+                    return mc.cycles[0];
+                }
+                for i in 1..mc.sizes.len() {
+                    let (s0, s1) = (mc.sizes[i - 1] as f64, mc.sizes[i] as f64);
+                    if w <= s1 {
+                        let f = (w - s0) / (s1 - s0).max(1.0);
+                        return mc.cycles[i - 1] + f * (mc.cycles[i] - mc.cycles[i - 1]);
+                    }
+                }
+                return *mc.cycles.last().expect("non-empty");
+            }
+        }
+        // No curve: hit costs grow roughly 5× per level in the machines
+        // this repo models; beyond the last level, memory.
+        let mut sizes: Vec<usize> = self.profile.cache_levels.iter().map(|l| l.size).collect();
+        sizes.sort_unstable();
+        for (i, size) in sizes.iter().enumerate() {
+            if ws as f64 <= 0.75 * *size as f64 {
+                return 2.0 * 5f64.powi(i as i32);
+            }
+        }
+        120.0
+    }
+
+    /// Size of the largest group of cores sharing any cache level (1 if
+    /// every level is private or undetected).
+    fn max_sharing_group(&self) -> usize {
+        let Some(shared) = &self.profile.shared_caches else {
+            return 1;
+        };
+        shared
+            .levels
+            .iter()
+            .flat_map(|l| l.groups.iter().map(Vec::len))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+impl Oracle for ProfileOracle {
+    fn name(&self) -> String {
+        format!("profile:{}:n{}", self.profile.machine, self.n)
+    }
+
+    fn evaluate(&self, config: &Config) -> f64 {
+        let n = self.n;
+        let cores = self.profile.total_cores.max(1);
+        let tile = value(config, TILE, 8).clamp(1, n as u64) as usize;
+        let threads = value(config, THREADS, 1).clamp(1, cores as u64) as usize;
+        let spread = value(config, PLACEMENT, 0) != 0;
+        let pad = value(config, PAD, 64) as usize;
+
+        let work = (2 * n * n * n + n * n) as f64; // B+C inner accesses, A loads
+        let per = self.per_access_cycles(3 * tile * tile * 8);
+        let mut cycles = per * work / threads as f64;
+
+        // Bus saturation: when the full problem spills the last cache,
+        // threads beyond the measured sweet spot serialize on memory.
+        let last_cache = self.profile.cache_levels.iter().map(|l| l.size).max();
+        let spills = last_cache.is_none_or(|c| 3 * n * n * 8 > c);
+        if spills {
+            if let Some(memory) = &self.profile.memory {
+                if let Some(adv) = advise_memory_threads(memory, 0.05) {
+                    if threads > adv.threads_per_group {
+                        cycles *= threads as f64 / adv.threads_per_group as f64;
+                    }
+                }
+            }
+        }
+
+        // Compact placement stacks threads into one sharing group; they
+        // evict each other (Fig. 5's mutual-eviction slowdown, linearized).
+        if !spread {
+            let sharers = threads.min(self.max_sharing_group());
+            cycles *= 1.0 + 0.10 * (sharers.saturating_sub(1)) as f64;
+        }
+
+        // Under-padded accumulators ping-pong at the measured cost.
+        if threads > 1 {
+            if let Some(advice) = advise_padding(&self.profile) {
+                if pad < advice.pad_bytes {
+                    cycles *= advice.worst_ratio.unwrap_or(1.5).max(1.0);
+                }
+            }
+        }
+        cycles
+    }
+}
+
+/// The purely analytic configuration `servet-autotune` derives from a
+/// profile, snapped onto `space`'s grid — the baseline every search is
+/// compared against.
+///
+/// Tile from [`select_tile`] (L1, the usual innermost-blocking target),
+/// threads = every core, placement spread when a *partial* sharing
+/// group exists (so co-scheduled threads avoid mutual eviction), pad
+/// from [`advise_padding`] (falling back to one 64-byte line). Each
+/// value is clamped to the nearest grid value (below for tile/threads,
+/// above for pad), so the analytic config is always a point of the
+/// space — an exhaustive search can never lose to it.
+pub fn analytic_config(profile: &MachineProfile, space: &ParamSpace) -> Config {
+    let pick_le = |values: &[u64], target: u64| {
+        values
+            .iter()
+            .copied()
+            .filter(|&v| v <= target)
+            .max()
+            .unwrap_or_else(|| values.iter().copied().min().expect("non-empty"))
+    };
+    let pick_ge = |values: &[u64], target: u64| {
+        values
+            .iter()
+            .copied()
+            .filter(|&v| v >= target)
+            .min()
+            .unwrap_or_else(|| values.iter().copied().max().expect("non-empty"))
+    };
+    let total = profile.total_cores.max(1);
+    space
+        .params
+        .iter()
+        .map(|p| {
+            let v = match p.name.as_str() {
+                TILE => {
+                    let tile = select_tile(profile, 1, 8, 3, 0.75)
+                        .map(|c| c.tile as u64)
+                        .unwrap_or(8);
+                    pick_le(&p.values, tile)
+                }
+                THREADS => pick_le(&p.values, total as u64),
+                PLACEMENT => {
+                    let partial_group = (1..=profile.num_cache_levels() as u8).any(|l| {
+                        let peers = profile.cores_sharing_cache(l, 0);
+                        !peers.is_empty() && peers.len() + 1 < total
+                    });
+                    if partial_group && p.values.contains(&1) {
+                        1
+                    } else {
+                        p.values[0]
+                    }
+                }
+                PAD => {
+                    let advised = advise_padding(profile)
+                        .map(|a| a.pad_bytes as u64)
+                        .unwrap_or(64);
+                    pick_ge(&p.values, advised)
+                }
+                _ => p.values[0],
+            };
+            (p.name.clone(), v)
+        })
+        .collect()
+}
+
+/// Tune query/report serde shapes shared by the CLI, the registry wire
+/// protocol, and the zoo comparison — all defined next to the oracles
+/// they configure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum OracleKind {
+    /// Simulate the kernel on a preset machine ([`SimOracle`]).
+    Sim,
+    /// Price the kernel against a stored profile ([`ProfileOracle`]).
+    Profile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servet_core::cache_detect::{CacheLevelEstimate, DetectionMethod};
+
+    fn profile_with_caches(sizes: &[usize], cores: usize) -> MachineProfile {
+        MachineProfile {
+            schema_version: servet_core::profile::SCHEMA_VERSION,
+            machine: "synthetic".into(),
+            cores_per_node: cores,
+            total_cores: cores,
+            page_size: 1024,
+            mcalibrator: None,
+            cache_levels: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &size)| CacheLevelEstimate {
+                    level: (i + 1) as u8,
+                    size,
+                    method: DetectionMethod::GradientPeak,
+                })
+                .collect(),
+            shared_caches: None,
+            memory: None,
+            communication: None,
+            micro: None,
+            false_sharing: None,
+        }
+    }
+
+    #[test]
+    fn kernel_space_has_the_four_dimensions() {
+        let s = kernel_space(4, 32);
+        let names: Vec<&str> = s.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec![TILE, THREADS, PLACEMENT, PAD]);
+        assert_eq!(s.params[0].values, vec![8, 16, 32]);
+        assert_eq!(s.params[1].values, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn sim_oracle_is_deterministic() {
+        let o = SimOracle::new(servet_sim::presets::tiny_smp(), 7, 16);
+        let cfg = o.space().config(&o.space().midpoint());
+        assert_eq!(o.evaluate(&cfg).to_bits(), o.evaluate(&cfg).to_bits());
+    }
+
+    #[test]
+    fn sim_oracle_prefers_fitting_tiles() {
+        // At n = 64 the 96 KB problem spills tiny_smp's 64 KB L2, so the
+        // untiled order streams from memory while 16-element tiles stay
+        // cache-resident (the same contrast the autotune tiling test
+        // uses; below L2 size the stride prefetcher hides the order).
+        let o = SimOracle::new(servet_sim::presets::tiny_smp(), 7, 64);
+        let cfg = |tile: u64| {
+            let mut c = Config::new();
+            c.insert(TILE.into(), tile);
+            c.insert(THREADS.into(), 1);
+            c.insert(PLACEMENT.into(), 0);
+            c.insert(PAD.into(), 64);
+            c
+        };
+        let tiled = o.evaluate(&cfg(16));
+        let untiled = o.evaluate(&cfg(64));
+        assert!(tiled < untiled, "tiled {tiled} vs untiled {untiled}");
+    }
+
+    #[test]
+    fn sim_oracle_threads_beat_serial_on_private_caches() {
+        let o = SimOracle::new(servet_sim::presets::tiny_smp(), 7, 32);
+        let cfg = |threads: u64| {
+            let mut c = Config::new();
+            c.insert(TILE.into(), 8);
+            c.insert(THREADS.into(), threads);
+            c.insert(PLACEMENT.into(), 0);
+            c.insert(PAD.into(), 64);
+            c
+        };
+        let serial = o.evaluate(&cfg(1));
+        let quad = o.evaluate(&cfg(4));
+        assert!(quad < serial, "4 threads {quad} vs serial {serial}");
+    }
+
+    #[test]
+    fn sim_oracle_charges_packed_accumulators() {
+        let o = SimOracle::new(servet_sim::presets::tiny_smp(), 7, 16);
+        let cfg = |pad: u64| {
+            let mut c = Config::new();
+            c.insert(TILE.into(), 8);
+            c.insert(THREADS.into(), 4);
+            c.insert(PLACEMENT.into(), 0);
+            c.insert(PAD.into(), pad);
+            c
+        };
+        let packed = o.evaluate(&cfg(8));
+        let padded = o.evaluate(&cfg(64));
+        assert!(
+            packed > padded,
+            "packed accumulators {packed} should cost more than padded {padded}"
+        );
+    }
+
+    #[test]
+    fn profile_oracle_orders_tiles_by_cache_fit() {
+        let profile = profile_with_caches(&[8 * 1024, 64 * 1024], 4);
+        let o = ProfileOracle::new(profile, 64);
+        let cfg = |tile: u64| {
+            let mut c = Config::new();
+            c.insert(TILE.into(), tile);
+            c.insert(THREADS.into(), 1);
+            c
+        };
+        // 16² tiles (6 KB) fit L1; 64² (96 KB) spill to memory.
+        assert!(o.evaluate(&cfg(16)) < o.evaluate(&cfg(64)));
+    }
+
+    #[test]
+    fn analytic_config_is_a_space_point() {
+        let profile = profile_with_caches(&[8 * 1024, 64 * 1024], 4);
+        let space = kernel_space(4, 32);
+        let cfg = analytic_config(&profile, &space);
+        for p in &space.params {
+            assert!(
+                p.values.contains(&cfg[&p.name]),
+                "{} = {} not on the grid",
+                p.name,
+                cfg[&p.name]
+            );
+        }
+        assert_eq!(cfg[THREADS], 4);
+        assert_eq!(cfg[PLACEMENT], 0, "private caches: compact");
+        assert_eq!(cfg[PAD], 64, "no measurement: one line");
+        assert_eq!(cfg[TILE], 16, "0.75·8 KB budget → 16-element tiles");
+    }
+}

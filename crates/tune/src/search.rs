@@ -1,0 +1,466 @@
+//! Search strategies over a [`ParamSpace`], scored by an [`Oracle`].
+//!
+//! Four strategies, in the AutoTuneTMP lineage:
+//!
+//! * **exhaustive** — score every point; the ground truth the others are
+//!   judged against.
+//! * **line** — coordinate descent: sweep one dimension at a time with
+//!   the others held fixed, repeat for a few sweeps or until a whole
+//!   sweep stops moving. Cheap and exact on separable cost surfaces.
+//! * **neighborhood** — steepest-descent hill climbing over the ±1
+//!   neighborhood; stops at the first local minimum.
+//! * **monte-carlo** — a seeded uniform sample of the space; the
+//!   baseline that needs no structure at all.
+//!
+//! Every strategy funnels its candidate points through one memoizing
+//! scorer that evaluates previously-unseen configurations in parallel
+//! with `std::thread::scope` (the `cache_detect` worker pattern). Each
+//! point's score depends only on the point, candidate batches are
+//! sorted before they are split across workers, and the final argmin
+//! tie-breaks by `(score, point)` — so the winner is bit-identical for
+//! any worker count, and reruns with the same seed replay exactly.
+
+use crate::oracle::Oracle;
+use crate::space::{Config, ParamSpace, Point};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::thread;
+
+/// Hard cap on points an exhaustive search will enumerate; beyond this
+/// the space is declared wrong for the strategy, not worth hours of
+/// simulation.
+const EXHAUSTIVE_LIMIT: usize = 1 << 20;
+
+/// Which search strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Strategy {
+    /// Score every point of the space.
+    Exhaustive,
+    /// Coordinate descent: per-dimension sweeps.
+    Line,
+    /// Steepest-descent over the ±1 neighborhood.
+    Neighborhood,
+    /// Seeded uniform random sampling.
+    MonteCarlo,
+}
+
+impl Strategy {
+    /// All strategies, in report order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Exhaustive,
+        Strategy::Line,
+        Strategy::Neighborhood,
+        Strategy::MonteCarlo,
+    ];
+
+    /// CLI-style name (`monte-carlo`, not `monte_carlo`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Line => "line",
+            Strategy::Neighborhood => "neighborhood",
+            Strategy::MonteCarlo => "monte-carlo",
+        }
+    }
+
+    /// Wire name — matches this enum's serde `snake_case` rename, so
+    /// hand-rendered JSON parses back through serde.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Line => "line",
+            Strategy::Neighborhood => "neighborhood",
+            Strategy::MonteCarlo => "monte_carlo",
+        }
+    }
+
+    /// Parse a CLI or wire name; accepts both `-` and `_` separators.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s.replace('_', "-").as_str() {
+            "exhaustive" | "brute-force" => Some(Strategy::Exhaustive),
+            "line" | "line-search" => Some(Strategy::Line),
+            "neighborhood" | "neighbourhood" => Some(Strategy::Neighborhood),
+            "monte-carlo" | "mc" => Some(Strategy::MonteCarlo),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn default_seed() -> u64 {
+    0x5EED
+}
+fn default_sweeps() -> usize {
+    2
+}
+fn default_steps() -> usize {
+    16
+}
+fn default_samples() -> usize {
+    24
+}
+
+/// Knobs of a tuning session. This struct (minus the worker count,
+/// which never changes the result) is what the registry hashes into its
+/// memoization key, so every field has a serde default: an old client
+/// omitting a new knob still lands on the same cache entry as one
+/// sending the default explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuneOptions {
+    /// Strategy to run.
+    pub strategy: Strategy,
+    /// Seed for the monte-carlo sampler (ignored by the deterministic
+    /// strategies, but always part of the memo key).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Full coordinate-descent passes for [`Strategy::Line`].
+    #[serde(default = "default_sweeps")]
+    pub sweeps: usize,
+    /// Maximum downhill moves for [`Strategy::Neighborhood`].
+    #[serde(default = "default_steps")]
+    pub steps: usize,
+    /// Points drawn by [`Strategy::MonteCarlo`].
+    #[serde(default = "default_samples")]
+    pub samples: usize,
+}
+
+impl TuneOptions {
+    /// Defaults for a strategy.
+    pub fn new(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            seed: default_seed(),
+            sweeps: default_sweeps(),
+            steps: default_steps(),
+            samples: default_samples(),
+        }
+    }
+
+    /// Same options, different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What a tuning session found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// Name of the oracle that scored the candidates.
+    pub oracle: String,
+    /// Strategy that ran.
+    pub strategy: Strategy,
+    /// Digest of the space that was searched (the registry memoizes by
+    /// this plus the profile digest and options).
+    pub space_digest: String,
+    /// Number of points in the space.
+    pub space_len: usize,
+    /// Distinct configurations actually evaluated.
+    pub evaluations: usize,
+    /// The winning configuration.
+    pub best: Config,
+    /// Its score (oracle-specific units; lower is better).
+    pub best_score: f64,
+}
+
+/// Render a resolved configuration as a JSON object (keys already
+/// sorted — [`Config`] is a `BTreeMap`).
+pub(crate) fn config_json(config: &Config) -> String {
+    let fields: Vec<String> = config
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{v}", servet_obs::json_escape(k)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+impl TuneOutcome {
+    /// Render as JSON, without going through serde — serde's derives
+    /// still parse this exact shape back. Keeps reporting alive in
+    /// build environments where `serde_json` is stubbed out.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"oracle\":\"{}\",\"strategy\":\"{}\",\"space_digest\":\"{}\",\
+             \"space_len\":{},\"evaluations\":{},\"best\":{},\"best_score\":{}}}",
+            servet_obs::json_escape(&self.oracle),
+            self.strategy.wire_name(),
+            self.space_digest,
+            self.space_len,
+            self.evaluations,
+            config_json(&self.best),
+            fmt_f64(self.best_score),
+        )
+    }
+}
+
+/// JSON-safe float rendering (JSON has no NaN/inf literals).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Memoizing, parallel scorer shared by all strategies.
+struct Scorer<'a> {
+    oracle: &'a dyn Oracle,
+    space: &'a ParamSpace,
+    workers: usize,
+    memo: BTreeMap<Point, f64>,
+}
+
+impl<'a> Scorer<'a> {
+    fn new(oracle: &'a dyn Oracle, space: &'a ParamSpace, workers: usize) -> Self {
+        Self {
+            oracle,
+            space,
+            workers: workers.max(1),
+            memo: BTreeMap::new(),
+        }
+    }
+
+    /// Score every not-yet-seen point in `points`, fanning the batch out
+    /// across workers. Each slot depends only on its own point, so the
+    /// chunking is invisible in the results.
+    fn score_batch(&mut self, points: &[Point]) {
+        let mut todo: Vec<Point> = points
+            .iter()
+            .filter(|p| !self.memo.contains_key(*p))
+            .cloned()
+            .collect();
+        todo.sort_unstable();
+        todo.dedup();
+        if todo.is_empty() {
+            return;
+        }
+        let _span = servet_obs::span("tune.score_batch");
+        servet_obs::counter("tune.evaluations").add(todo.len() as u64);
+        let mut scores = vec![0.0f64; todo.len()];
+        let chunk = todo.len().div_ceil(self.workers);
+        let (oracle, space) = (self.oracle, self.space);
+        thread::scope(|s| {
+            for (pts, out) in todo.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (p, slot) in pts.iter().zip(out.iter_mut()) {
+                        *slot = oracle.evaluate(&space.config(p));
+                    }
+                });
+            }
+        });
+        for (p, score) in todo.into_iter().zip(scores) {
+            self.memo.insert(p, score);
+        }
+    }
+
+    /// Best point among an explicit candidate list (must be scored),
+    /// tie-breaking by `(score, point)`.
+    fn best_of<'p>(&self, candidates: impl Iterator<Item = &'p Point>) -> (Point, f64) {
+        candidates
+            .map(|p| (p, self.memo[p]))
+            .min_by(|(pa, sa), (pb, sb)| sa.total_cmp(sb).then_with(|| pa.cmp(pb)))
+            .map(|(p, s)| (p.clone(), s))
+            .expect("non-empty candidate list")
+    }
+
+    /// Best point over everything evaluated so far.
+    fn best(&self) -> (Point, f64) {
+        self.best_of(self.memo.keys())
+    }
+}
+
+/// Run one tuning session. `workers` threads score candidates in
+/// parallel; the result is identical for any positive worker count.
+pub fn tune(
+    oracle: &dyn Oracle,
+    space: &ParamSpace,
+    options: &TuneOptions,
+    workers: usize,
+) -> TuneOutcome {
+    let _span = servet_obs::span("tune.search");
+    let mut scorer = Scorer::new(oracle, space, workers);
+    match options.strategy {
+        Strategy::Exhaustive => {
+            assert!(
+                space.len() <= EXHAUSTIVE_LIMIT,
+                "space of {} points is too large for exhaustive search",
+                space.len()
+            );
+            let all: Vec<Point> = (0..space.len()).map(|i| space.point(i)).collect();
+            scorer.score_batch(&all);
+        }
+        Strategy::Line => {
+            let mut at = space.midpoint();
+            for _ in 0..options.sweeps.max(1) {
+                let before = at.clone();
+                for dim in 0..space.params.len() {
+                    let line = space.axis(&at, dim);
+                    scorer.score_batch(&line);
+                    at = scorer.best_of(line.iter()).0;
+                }
+                if at == before {
+                    break; // a full sweep moved nothing: converged
+                }
+            }
+        }
+        Strategy::Neighborhood => {
+            let mut at = space.midpoint();
+            scorer.score_batch(std::slice::from_ref(&at));
+            for _ in 0..options.steps.max(1) {
+                let hood = space.neighbors(&at);
+                scorer.score_batch(&hood);
+                let (next, next_score) = scorer.best_of(hood.iter());
+                if next_score < scorer.memo[&at] {
+                    at = next;
+                } else {
+                    break; // local minimum
+                }
+            }
+        }
+        Strategy::MonteCarlo => {
+            let mut state = options.seed;
+            let draws: Vec<Point> = (0..options.samples.max(1))
+                .map(|_| space.random_point(&mut state))
+                .collect();
+            scorer.score_batch(&draws);
+        }
+    }
+    let (best_point, best_score) = scorer.best();
+    servet_obs::counter("tune.sessions").incr();
+    TuneOutcome {
+        oracle: oracle.name(),
+        strategy: options.strategy,
+        space_digest: space.digest(),
+        space_len: space.len(),
+        evaluations: scorer.memo.len(),
+        best: space.config(&best_point),
+        best_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    /// Deterministic synthetic oracle: a convex bowl over the value
+    /// grid, with an optional per-call jitter keyed off the point so
+    /// ties exist.
+    struct Bowl {
+        target: Vec<f64>,
+    }
+
+    impl Oracle for Bowl {
+        fn name(&self) -> String {
+            "bowl".into()
+        }
+        fn evaluate(&self, config: &Config) -> f64 {
+            // Separable quadratic in the *values*, minimized at target.
+            config
+                .values()
+                .zip(&self.target)
+                .map(|(&v, t)| {
+                    let d = v as f64 - t;
+                    d * d
+                })
+                .sum()
+        }
+    }
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Param::log2("a", 0, 5),       // 1..32
+            Param::range("b", 0, 40, 10), // 0,10,20,30,40
+            Param::fixed_set("c", &[3, 7, 11]),
+        ])
+    }
+
+    fn bowl() -> Bowl {
+        // BTreeMap iterates a, b, c.
+        Bowl {
+            target: vec![8.0, 20.0, 7.0],
+        }
+    }
+
+    fn expect_best(outcome: &TuneOutcome) {
+        assert_eq!(outcome.best["a"], 8);
+        assert_eq!(outcome.best["b"], 20);
+        assert_eq!(outcome.best["c"], 7);
+        assert_eq!(outcome.best_score, 0.0);
+    }
+
+    #[test]
+    fn exhaustive_finds_the_global_minimum() {
+        let s = space();
+        let out = tune(&bowl(), &s, &TuneOptions::new(Strategy::Exhaustive), 2);
+        expect_best(&out);
+        assert_eq!(out.evaluations, s.len());
+        assert_eq!(out.space_len, s.len());
+    }
+
+    #[test]
+    fn line_search_converges_on_separable_surface() {
+        let s = space();
+        let out = tune(&bowl(), &s, &TuneOptions::new(Strategy::Line), 2);
+        expect_best(&out);
+        assert!(out.evaluations < s.len(), "line search must not enumerate");
+    }
+
+    #[test]
+    fn neighborhood_descends_to_the_minimum() {
+        let s = space();
+        let out = tune(&bowl(), &s, &TuneOptions::new(Strategy::Neighborhood), 2);
+        expect_best(&out);
+        assert!(out.evaluations < s.len());
+    }
+
+    #[test]
+    fn monte_carlo_is_seed_deterministic() {
+        let s = space();
+        let opts = TuneOptions::new(Strategy::MonteCarlo).with_seed(99);
+        let a = tune(&bowl(), &s, &opts, 1);
+        let b = tune(&bowl(), &s, &opts, 3);
+        assert_eq!(a, b, "same seed, different workers: identical outcome");
+        let c = tune(&bowl(), &s, &opts.with_seed(100), 1);
+        // A different seed draws different points (scores may tie, the
+        // evaluation count almost surely differs on this space).
+        assert!(c.evaluations <= opts.samples);
+    }
+
+    #[test]
+    fn every_strategy_is_worker_count_invariant() {
+        let s = space();
+        for strategy in Strategy::ALL {
+            let opts = TuneOptions::new(strategy);
+            let one = tune(&bowl(), &s, &opts, 1);
+            let many = tune(&bowl(), &s, &opts, 5);
+            assert_eq!(one, many, "{strategy} varies with worker count");
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in Strategy::ALL {
+            assert_eq!(Strategy::parse(strategy.name()), Some(strategy));
+        }
+        assert_eq!(Strategy::parse("monte_carlo"), Some(Strategy::MonteCarlo));
+        assert_eq!(Strategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn options_deserialize_with_defaults() {
+        // Skipped where serde_json is a panicking stub.
+        let Ok(parsed) = std::panic::catch_unwind(|| {
+            serde_json::from_str::<TuneOptions>(r#"{"strategy":"line"}"#)
+        }) else {
+            eprintln!("serde_json unavailable (stub); skipping");
+            return;
+        };
+        assert_eq!(parsed.unwrap(), TuneOptions::new(Strategy::Line));
+    }
+}

@@ -25,11 +25,16 @@
 //! * [`autotune`] (`servet-autotune`) — consumers of the profile:
 //!   process placement, tiling, message aggregation, collective
 //!   selection.
+//! * [`tune`] (`servet-tune`) — search-based autotuning: countable
+//!   parameter spaces, four search strategies over a pluggable
+//!   evaluation oracle (simulator trace replay or a closed-form model
+//!   over a measured profile), and the zoo comparison that races search
+//!   against the analytic advice (`servet tune`).
 //! * [`registry`] (`servet-registry`) — the serving layer: a
 //!   content-addressed profile store, sharded caches, a memoized advice
-//!   engine, and an event-driven TCP server that multiplexes thousands
-//!   of connections over a fixed worker pool (`servet serve` /
-//!   `servet query` / `servet loadgen`).
+//!   engine and tune engine, and an event-driven TCP server that
+//!   multiplexes thousands of connections over a fixed worker pool
+//!   (`servet serve` / `servet query` / `servet loadgen`).
 //! * [`stats`] (`servet-stats`) — binomial tails, gradients, clustering,
 //!   union-find, regression.
 //! * [`obs`] (`servet-obs`) — spans, counters, and latency histograms;
@@ -63,6 +68,7 @@ pub use servet_obs as obs;
 pub use servet_registry as registry;
 pub use servet_sim as sim;
 pub use servet_stats as stats;
+pub use servet_tune as tune;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
@@ -84,6 +90,10 @@ pub mod prelude {
     pub use servet_registry::{
         compute_advice, AdviceOutcome, AdviceQuery, Registry, RegistryClient,
         RetryingRegistryClient,
+    };
+    pub use servet_tune::{
+        analytic_config, kernel_space, tune, Oracle, ParamSpace, ProfileOracle, SimOracle,
+        Strategy, TuneOptions, TuneOutcome,
     };
 }
 

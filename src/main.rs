@@ -9,6 +9,8 @@
 //! servet advise threads --profile dun.json      # memory-concurrency advice
 //! servet advise tile --profile dun.json --level 2
 //! servet advise bcast --profile dun.json --ranks 24 --bytes 32768
+//! servet tune --machine tiny_smp --strategy line     # search the kernel space
+//! servet tune --zoo --machines 64 --check            # search vs analytic, population-wide
 //! servet serve --dir ~/.servet --addr 127.0.0.1:7431
 //! servet query put --profile dun.json --name dunnington
 //! servet query advise tile --key dunnington --level 2 --json
@@ -39,6 +41,7 @@ fn main() {
         Some("probe") => cmd_probe(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("zoo") => cmd_zoo(&args[1..]),
@@ -86,6 +89,16 @@ fn print_help() {
          \x20 servet advise tile --profile FILE [--level L] [--json]\n\
          \x20 servet advise bcast --profile FILE [--ranks N] [--bytes B] [--json]\n\
          \x20 servet advise padding --profile FILE [--json]\n\
+         \x20 servet tune [--machine PRESET | --profile FILE] [--strategy S] [--n N]\n\
+         \x20             [--seed S] [--workers N] [--sweeps N] [--steps N] [--samples N]\n\
+         \x20             [--json] [--out FILE]\n\
+         \x20                                                    search the blocked-matmul space\n\
+         \x20                                                    (strategies: exhaustive, line,\n\
+         \x20                                                    neighborhood, monte-carlo)\n\
+         \x20 servet tune --zoo [--machines N] [--workers N] [--seed S] [--n N]\n\
+         \x20             [--strategies a,b] [--epsilon E] [--check [--min-parity P]] [--out FILE]\n\
+         \x20                                                    race search against the analytic\n\
+         \x20                                                    advice across the machine zoo\n\
          \x20 servet serve --dir DIR [--addr HOST:PORT] [--read-timeout-ms N] [--workers N]\n\
          \x20              [--backlog N] [--max-conns N] [--drain-grace-ms N]\n\
          \x20                                                    run the profile registry daemon\n\
@@ -93,6 +106,7 @@ fn print_help() {
          \x20 servet query get --key KEY [--json] [--addr A]\n\
          \x20 servet query list [--json] [--addr A]\n\
          \x20 servet query advise <threads|tile|bcast|padding> --key KEY [flags] [--json] [--addr A]\n\
+         \x20 servet query tune --key KEY [--strategy S] [--n N] [tune flags] [--json] [--addr A]\n\
          \x20 servet query stats [--json] [--addr A]\n\
          \x20 servet zoo [--machines N] [--workers N] [--seed S] [--out FILE]\n\
          \x20            [--addr HOST:PORT | --dir DIR | --no-stream]\n\
@@ -376,6 +390,269 @@ fn cmd_advise(args: &[String]) -> i32 {
     }
 }
 
+/// Parse the shared search flags (`--strategy`, `--seed`, budget knobs)
+/// into the [`servet::tune::TuneOptions`] both the local searcher and
+/// the registry `tune` op consume.
+fn parse_tune_options(args: &[String]) -> Result<servet::tune::TuneOptions, String> {
+    use servet::tune::{Strategy, TuneOptions};
+    let strategy = match flag_value(args, "--strategy") {
+        None => Strategy::Line,
+        Some(s) => Strategy::parse(s).ok_or_else(|| {
+            format!("unknown strategy '{s}'; use exhaustive | line | neighborhood | monte-carlo")
+        })?,
+    };
+    let mut options = TuneOptions::new(strategy);
+    if let Some(v) = flag_value(args, "--seed").and_then(|v| v.parse().ok()) {
+        options.seed = v;
+    }
+    if let Some(v) = flag_value(args, "--sweeps").and_then(|v| v.parse().ok()) {
+        options.sweeps = v;
+    }
+    if let Some(v) = flag_value(args, "--steps").and_then(|v| v.parse().ok()) {
+        options.steps = v;
+    }
+    if let Some(v) = flag_value(args, "--samples").and_then(|v| v.parse().ok()) {
+        options.samples = v;
+    }
+    Ok(options)
+}
+
+/// Human rendering of a tuning outcome; `analytic` is the baseline
+/// `(config, score)` when the caller could derive one.
+fn print_tune_outcome(
+    outcome: &servet::tune::TuneOutcome,
+    analytic: Option<(&servet::tune::Config, f64)>,
+) {
+    println!(
+        "{} search over {} ({} points, digest {}):",
+        outcome.strategy.name(),
+        outcome.oracle,
+        outcome.space_len,
+        &outcome.space_digest[..8.min(outcome.space_digest.len())]
+    );
+    let show = |config: &servet::tune::Config| {
+        config
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "  best: {}  score {:.1} ({} evaluations)",
+        show(&outcome.best),
+        outcome.best_score,
+        outcome.evaluations
+    );
+    if let Some((config, score)) = analytic {
+        let verdict = if outcome.best_score <= score * 1.001 {
+            "search matched or beat the advice"
+        } else {
+            "analytic advice won"
+        };
+        println!(
+            "  analytic: {}  score {score:.1}  ratio {:.3} — {verdict}",
+            show(config),
+            outcome.best_score / score
+        );
+    }
+}
+
+fn cmd_tune(args: &[String]) -> i32 {
+    use servet::sim::presets;
+    use servet::tune::{analytic_config, compare, tune, ProfileOracle, SimOracle};
+
+    if has_flag(args, "--zoo") {
+        return cmd_tune_zoo(args);
+    }
+    let options = match parse_tune_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let n: usize = flag_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+        .max(8);
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        })
+        .max(1);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    // Two oracles: a measured profile prices the kernel with the
+    // closed-form model; a simulated preset replays its access trace.
+    let (outcome, analytic) = if has_flag(args, "--profile") {
+        let profile = match load_profile(args) {
+            Ok(p) => p,
+            Err(code) => return code,
+        };
+        let oracle = ProfileOracle::new(profile, n);
+        let space = oracle.space();
+        let config = analytic_config(oracle.profile(), &space);
+        let score = servet::tune::Oracle::evaluate(&oracle, &config);
+        (
+            tune(&oracle, &space, &options, workers),
+            Some((config, score)),
+        )
+    } else {
+        let machine = flag_value(args, "--machine").unwrap_or("tiny_smp");
+        let spec = match machine {
+            "dunnington" => presets::dunnington(),
+            "dempsey" => presets::dempsey(),
+            "athlon3200" => presets::athlon3200(),
+            "tiny_smp" | "tiny" => presets::tiny_smp(),
+            "tiny_shared_l2" => presets::tiny_shared_l2(),
+            other => {
+                eprintln!(
+                    "unknown machine '{other}'; use dunnington | dempsey | athlon3200 | \
+                     tiny_smp | tiny_shared_l2"
+                );
+                return 2;
+            }
+        };
+        let oracle = SimOracle::new(spec, seed, n);
+        let space = oracle.space();
+        // The baseline an analytically-advised code would run: advice
+        // from the ground-truth profile, snapped onto the same grid.
+        let truth = compare::ground_truth_profile(oracle.spec());
+        let config = analytic_config(&truth, &space);
+        let score = servet::tune::Oracle::evaluate(&oracle, &config);
+        (
+            tune(&oracle, &space, &options, workers),
+            Some((config, score)),
+        )
+    };
+
+    if has_flag(args, "--json") {
+        println!("{}", outcome.to_json());
+    } else {
+        let (config, score) = analytic.as_ref().expect("baseline always derived");
+        print_tune_outcome(&outcome, Some((config, *score)));
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        if let Err(e) = servet::core::profile::write_atomic(out, outcome.to_json().as_bytes()) {
+            eprintln!("cannot write {out}: {e}");
+            return 1;
+        }
+        println!("tune report written to {out}");
+    }
+    0
+}
+
+/// `servet tune --zoo`: race the search strategies against the analytic
+/// advice across the seeded machine population, write the
+/// `BENCH_tune.json` artifact, and (with `--check`) gate on parity.
+fn cmd_tune_zoo(args: &[String]) -> i32 {
+    use servet::tune::{run_compare, CompareConfig, Strategy};
+
+    let machines: usize = flag_value(args, "--machines")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        });
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let mut config = CompareConfig::new(machines, workers, seed);
+    if let Some(n) = flag_value(args, "--n").and_then(|v| v.parse().ok()) {
+        config.n = n;
+    }
+    if let Some(e) = flag_value(args, "--epsilon").and_then(|v| v.parse().ok()) {
+        config.epsilon = e;
+    }
+    if let Some(list) = flag_value(args, "--strategies") {
+        let mut strategies = Vec::new();
+        for name in list.split(',').filter(|s| !s.is_empty()) {
+            match Strategy::parse(name) {
+                Some(s) => strategies.push(s),
+                None => {
+                    eprintln!("unknown strategy '{name}' in --strategies");
+                    return 2;
+                }
+            }
+        }
+        if strategies.is_empty() {
+            eprintln!("--strategies lists no strategies");
+            return 2;
+        }
+        config.strategies = strategies;
+    }
+    let out = flag_value(args, "--out").unwrap_or("BENCH_tune.json");
+
+    eprintln!(
+        "tune zoo: {machines} machines (seed {seed}), kernel n={}, {} worker(s), \
+         strategies {} ...",
+        config.n,
+        config.workers,
+        config
+            .strategies
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let report = run_compare(&config);
+    for s in &report.summary {
+        println!(
+            "{:<12} parity {:>5.1}%  ({} matched, {} improved, of {})  \
+             geo-mean ratio {:.3}  {:.0} evals/machine",
+            s.strategy.name(),
+            100.0 * s.parity,
+            s.matched,
+            s.improved,
+            s.total,
+            s.mean_ratio,
+            s.mean_evaluations
+        );
+    }
+    if let Err(e) = servet::core::profile::write_atomic(out, report.to_json().as_bytes()) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!("tune comparison written to {out}");
+
+    if has_flag(args, "--check") {
+        let min_parity: f64 = flag_value(args, "--min-parity")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.9);
+        let mut failed = false;
+        for s in &report.summary {
+            if s.parity < min_parity {
+                eprintln!(
+                    "tune --check FAILED: {} parity {:.1}% below {:.1}%",
+                    s.strategy.name(),
+                    100.0 * s.parity,
+                    100.0 * min_parity
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return 1;
+        }
+        println!(
+            "tune --check passed: every strategy at or above {:.1}% parity",
+            100.0 * min_parity
+        );
+    }
+    0
+}
+
 fn cmd_serve(args: &[String]) -> i32 {
     let Some(dir) = flag_value(args, "--dir") else {
         eprintln!(
@@ -447,7 +724,7 @@ fn connect(args: &[String]) -> Result<RegistryClient, i32> {
 }
 
 fn cmd_query(args: &[String]) -> i32 {
-    let usage = "usage: servet query <put|get|list|advise|stats> [--addr HOST:PORT] ...";
+    let usage = "usage: servet query <put|get|list|advise|tune|stats> [--addr HOST:PORT] ...";
     let Some(what) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -568,6 +845,47 @@ fn cmd_query(args: &[String]) -> i32 {
                 }
                 Err(e) => {
                     eprintln!("advise failed: {e}");
+                    1
+                }
+            }
+        }
+        "tune" => {
+            let Some(key) = flag_value(rest, "--key") else {
+                eprintln!("missing --key KEY");
+                return 2;
+            };
+            let options = match parse_tune_options(rest) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            let n: usize = flag_value(rest, "--n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            let query = servet::registry::TuneQuery {
+                space: None,
+                options,
+                n,
+            };
+            let mut client = match connect(rest) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.tune(key, &query) {
+                Ok((digest, cached, outcome)) => {
+                    if json {
+                        println!("{}", outcome.to_json());
+                    } else {
+                        let origin = if cached { "memoized" } else { "computed" };
+                        println!("profile {digest} ({origin}):");
+                        print_tune_outcome(&outcome, None);
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("tune failed: {e}");
                     1
                 }
             }
