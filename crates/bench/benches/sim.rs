@@ -1,0 +1,206 @@
+//! Criterion benchmarks of the fast-path simulator rewrite (packed LRU
+//! ways, hashed MESI directory, block-replay access engine) against the
+//! retained pre-rewrite engine — the numbers behind `BENCH_sim.json`.
+//!
+//! Micro: identical pseudorandom traces replayed through [`Machine`] and
+//! [`ReferenceMachine`], throughput in simulated accesses per second.
+//! Macro: the MB-range zoo suite and a `SimOracle` evaluation on the
+//! fast path end to end. The standalone harness
+//! (`crates/bench/src/bin/bench_sim.rs`) mirrors these workloads with a
+//! plain wall-clock timer and writes the committed `BENCH_sim.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use servet_core::zoo::ZooConfig;
+use servet_core::{run_full_suite, SimPlatform};
+use servet_sim::machine::TraceJob;
+use servet_sim::{presets, Machine, ReferenceMachine, KB, MB};
+use servet_tune::{Oracle, SimOracle};
+
+/// Deterministic pseudorandom byte offsets in `[0, span)` (splitmix64,
+/// so no RNG crate is needed and both engines see the same stream).
+fn random_trace(len: usize, span: u64, mut state: u64) -> Vec<u64> {
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % span
+        })
+        .collect()
+}
+
+/// Headline micro: an oversubscribed blocked-random read replay — 16
+/// reader jobs per core over one shared 24 MB array, each step a random
+/// line followed by its eight 8-byte elements in order (blocked-kernel
+/// spatial locality, task-pool style). Leans on every fast path at
+/// once: the read-hit directory skip, the hashed directory on misses,
+/// and the O(log jobs)-per-block heap scheduler vs the reference's
+/// all-jobs scan per access.
+fn bench_replay_blocked_shared(c: &mut Criterion) {
+    const SIZE: usize = 24 * MB;
+    const JOBS_PER_CORE: usize = 16;
+    const BLOCKS: usize = 500;
+    let spec = presets::tiny_smp();
+    let cores = spec.num_cores;
+    let steps: Vec<Vec<(u64, bool)>> = (0..cores * JOBS_PER_CORE)
+        .map(|job| {
+            random_trace(BLOCKS, (SIZE / 64) as u64, 0xB10C + job as u64)
+                .into_iter()
+                .flat_map(|line| (0..8u64).map(move |e| (line * 64 + e * 8, false)))
+                .collect()
+        })
+        .collect();
+    let total: usize = steps.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("sim/replay_blocked_shared");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("fast", |b| {
+        let mut m = Machine::with_seed(spec.clone(), 42);
+        let array = m.alloc_shared_array(SIZE);
+        b.iter(|| {
+            let jobs: Vec<TraceJob<'_>> = steps
+                .iter()
+                .enumerate()
+                .map(|(j, s)| TraceJob {
+                    core: j % cores,
+                    array: &array,
+                    steps: s,
+                })
+                .collect();
+            black_box(m.run_traces(&jobs))
+        });
+    });
+    group.bench_function("reference", |b| {
+        let mut m = ReferenceMachine::with_seed(spec.clone(), 42);
+        let array = m.alloc_shared_array(SIZE);
+        b.iter(|| {
+            let jobs: Vec<TraceJob<'_>> = steps
+                .iter()
+                .enumerate()
+                .map(|(j, s)| TraceJob {
+                    core: j % cores,
+                    array: &array,
+                    steps: s,
+                })
+                .collect();
+            black_box(m.run_traces(&jobs))
+        });
+    });
+    group.finish();
+}
+
+/// Single-core random replay over an L2-overflowing array on the
+/// MB-range preset: fast path vs retained reference, same trace.
+fn bench_replay_private(c: &mut Criterion) {
+    const SIZE: usize = 4 * MB;
+    const ACCESSES: usize = 50_000;
+    let trace = random_trace(ACCESSES, SIZE as u64, 0x5EED);
+    let mut group = c.benchmark_group("sim/replay_mb_private");
+    group.throughput(Throughput::Elements(ACCESSES as u64));
+    group.bench_function("fast", |b| {
+        let mut m = Machine::with_seed(presets::mb_smp(), 42);
+        let array = m.alloc_array(SIZE);
+        b.iter(|| black_box(m.run_trace(0, &array, &trace)));
+    });
+    group.bench_function("reference", |b| {
+        let mut m = ReferenceMachine::with_seed(presets::mb_smp(), 42);
+        let array = m.alloc_array(SIZE);
+        b.iter(|| black_box(m.run_trace(0, &array, &trace)));
+    });
+    group.finish();
+}
+
+/// Multi-core coherent replay over one shared array (the
+/// `SimOracle`-shaped workload): block replay and the hashed directory
+/// together, vs the lockstep one-access-at-a-time reference.
+fn bench_replay_shared(c: &mut Criterion) {
+    const SIZE: usize = 16 * KB;
+    const STEPS: usize = 20_000;
+    let spec = presets::tiny_smp();
+    let cores = spec.num_cores;
+    let steps: Vec<Vec<(u64, bool)>> = (0..cores)
+        .map(|core| {
+            random_trace(STEPS, SIZE as u64, 0xC0FE + core as u64)
+                .into_iter()
+                .map(|addr| (addr, addr % 3 == 0))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("sim/replay_shared_coherent");
+    group.throughput(Throughput::Elements((STEPS * cores) as u64));
+    group.bench_function("fast", |b| {
+        let mut m = Machine::with_seed(spec.clone(), 42);
+        let array = m.alloc_shared_array(SIZE);
+        b.iter(|| {
+            let jobs: Vec<TraceJob<'_>> = steps
+                .iter()
+                .enumerate()
+                .map(|(core, s)| TraceJob {
+                    core,
+                    array: &array,
+                    steps: s,
+                })
+                .collect();
+            black_box(m.run_traces(&jobs))
+        });
+    });
+    group.bench_function("reference", |b| {
+        let mut m = ReferenceMachine::with_seed(spec.clone(), 42);
+        let array = m.alloc_shared_array(SIZE);
+        b.iter(|| {
+            let jobs: Vec<TraceJob<'_>> = steps
+                .iter()
+                .enumerate()
+                .map(|(core, s)| TraceJob {
+                    core,
+                    array: &array,
+                    steps: s,
+                })
+                .collect();
+            black_box(m.run_traces(&jobs))
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end macro: the MB-range zoo suite (wide mcalibrator sweep,
+/// shared-cache detection, false-sharing sweep) on the fast path — the
+/// workload the rewrite exists to make affordable.
+fn bench_suite_macro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/suite_macro");
+    group.sample_size(10);
+    group.bench_function("mb_smp_full_suite", |b| {
+        let config = ZooConfig::mb_suite();
+        b.iter(|| {
+            let machine = Machine::with_seed(presets::mb_smp(), 42);
+            let mut platform = SimPlatform::new(machine, None).with_seed(42);
+            black_box(run_full_suite(&mut platform, &config))
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end macro: one `SimOracle` evaluation (threaded blocked
+/// matmul replayed through `run_traces`) per problem size.
+fn bench_oracle_macro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/oracle_macro");
+    for &n in &[32usize, 48] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let oracle = SimOracle::new(presets::tiny_smp(), 42, n);
+            let config = oracle.space().config(&oracle.space().midpoint());
+            b.iter(|| black_box(oracle.evaluate(&config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replay_blocked_shared,
+    bench_replay_private,
+    bench_replay_shared,
+    bench_suite_macro,
+    bench_oracle_macro,
+);
+criterion_main!(benches);

@@ -35,6 +35,10 @@ pub struct SpanEntry {
     pub start_ns: u64,
     /// Wall-clock duration, nanoseconds.
     pub duration_ns: u64,
+    /// Span payload (e.g. per-stage coherence traffic). Absent in
+    /// manifests written before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub annotation: Option<String>,
 }
 
 /// The measurement record of one suite run.
@@ -79,6 +83,7 @@ impl RunManifest {
                 depth: s.depth,
                 start_ns: s.start_ns,
                 duration_ns: s.duration_ns,
+                annotation: s.annotation,
             })
             .collect();
         Self {
@@ -117,6 +122,7 @@ impl RunManifest {
                     depth: s.depth,
                     start_ns: s.start_ns,
                     duration_ns: s.duration_ns,
+                    annotation: s.annotation,
                 })
                 .collect(),
             counters: data.counters,

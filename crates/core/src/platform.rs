@@ -134,6 +134,16 @@ pub trait Platform {
         None
     }
 
+    /// Running total of coherence traffic observed over the platform's
+    /// whole lifetime, *without* draining anything — monotone even
+    /// across [`Self::take_coherence_traffic`] calls, so callers can
+    /// snapshot it around a suite stage and diff
+    /// ([`CoherenceTraffic::since`]) to attribute traffic to the stage.
+    /// `None` when the platform cannot observe coherence traffic.
+    fn coherence_traffic_total(&self) -> Option<CoherenceTraffic> {
+        None
+    }
+
     /// The machine's coherence transaction latencies, when known. Run
     /// manifests record these so a zoo run is reproducible from the
     /// manifest alone.

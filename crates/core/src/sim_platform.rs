@@ -74,6 +74,11 @@ pub struct SimPlatform {
     rng: ChaCha8Rng,
     cost: MeasurementCost,
     elapsed_s: f64,
+    /// Coherence traffic already drained out of the machine via
+    /// [`Platform::take_coherence_traffic`]; added back to the machine's
+    /// live counters so [`Platform::coherence_traffic_total`] stays
+    /// monotone across drains.
+    drained_traffic: CoherenceTraffic,
 }
 
 impl SimPlatform {
@@ -88,6 +93,7 @@ impl SimPlatform {
             rng: ChaCha8Rng::seed_from_u64(0xBEEF),
             cost: MeasurementCost::default(),
             elapsed_s: 0.0,
+            drained_traffic: CoherenceTraffic::default(),
         }
     }
 
@@ -340,7 +346,17 @@ impl Platform for SimPlatform {
     }
 
     fn take_coherence_traffic(&mut self) -> Option<CoherenceTraffic> {
-        self.machine.take_coherence_traffic()
+        let taken = self.machine.take_coherence_traffic();
+        if let Some(t) = &taken {
+            self.drained_traffic = self.drained_traffic.plus(t);
+        }
+        taken
+    }
+
+    fn coherence_traffic_total(&self) -> Option<CoherenceTraffic> {
+        self.machine
+            .coherence_traffic()
+            .map(|live| self.drained_traffic.plus(&live))
     }
 
     fn coherence_params(&self) -> Option<CoherenceSpec> {

@@ -15,6 +15,7 @@ use crate::platform::Platform;
 use crate::profile::MachineProfile;
 use crate::shared_cache::{decompose_shared_misses, detect_shared_caches, SharedCacheConfig};
 use serde::{Deserialize, Serialize};
+use servet_sim::CoherenceTraffic;
 
 /// Which benchmarks to run and with what parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,6 +141,37 @@ pub struct SuiteReport {
     pub timings: SuiteTimings,
 }
 
+/// Render a per-stage coherence-traffic delta for span annotations.
+fn format_traffic(t: &CoherenceTraffic) -> String {
+    format!(
+        "coh inv={} wb={} intv={} upg={} miss={}coh/{}cap",
+        t.invalidations,
+        t.writebacks,
+        t.interventions,
+        t.upgrades,
+        t.coherence_misses,
+        t.capacity_misses
+    )
+}
+
+/// Annotate `span` with the coherence traffic generated since `before`
+/// (a [`Platform::coherence_traffic_total`] snapshot taken at stage
+/// entry). No-op when the platform cannot observe traffic or the stage
+/// generated none — private-traversal stages stay unannotated.
+fn annotate_coherence(
+    span: &mut servet_obs::SpanGuard,
+    before: Option<CoherenceTraffic>,
+    platform: &dyn Platform,
+) {
+    let (Some(before), Some(now)) = (before, platform.coherence_traffic_total()) else {
+        return;
+    };
+    let delta = now.since(&before);
+    if !delta.is_empty() {
+        span.annotate(format_traffic(&delta));
+    }
+}
+
 /// Run the complete Servet suite on a platform.
 pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> SuiteReport {
     // Wall-clock spans for `servet --trace` and the run manifest; the
@@ -149,32 +181,39 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     let t0 = platform.elapsed_seconds();
 
     // Stage 1: cache size estimate (Figs. 1-4).
-    let stage_span = servet_obs::span("suite.cache_size");
+    let mut stage_span = servet_obs::span("suite.cache_size");
+    let coh0 = platform.coherence_traffic_total();
     let sweep = mcalibrator(platform, 0, &config.mcalibrator);
     let cache_levels = detect_cache_levels(&sweep, platform.page_size(), &config.detect);
+    annotate_coherence(&mut stage_span, coh0, platform);
     drop(stage_span);
     let t1 = platform.elapsed_seconds();
 
     // Stage 1b: optional micro-probe extensions, timed apart from the
     // cache-size stage so `cache_size_s` stays faithful to Table I.
     let micro = if config.run_micro {
-        let _micro_span = servet_obs::span("suite.micro_probes");
-        cache_levels
+        let mut micro_span = servet_obs::span("suite.micro_probes");
+        let coh0 = platform.coherence_traffic_total();
+        let micro = cache_levels
             .first()
-            .map(|l1| run_micro_probes(platform, 0, l1.size, &config.micro))
+            .map(|l1| run_micro_probes(platform, 0, l1.size, &config.micro));
+        annotate_coherence(&mut micro_span, coh0, platform);
+        micro
     } else {
         None
     };
     let t1m = platform.elapsed_seconds();
 
     // Stage 2: shared caches (Fig. 5).
-    let stage_span = servet_obs::span("suite.shared_caches");
+    let mut stage_span = servet_obs::span("suite.shared_caches");
+    let coh0 = platform.coherence_traffic_total();
     let mut shared = if config.skip_shared || platform.num_cores() < 2 {
         None
     } else {
         let sizes: Vec<usize> = cache_levels.iter().map(|c| c.size).collect();
         Some(detect_shared_caches(platform, &sizes, &config.shared))
     };
+    annotate_coherence(&mut stage_span, coh0, platform);
     drop(stage_span);
     let t2 = platform.elapsed_seconds();
 
@@ -182,18 +221,21 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     let shared_caches_s = t2 - t1m;
 
     // Stage 3: memory access overhead (Fig. 6).
-    let stage_span = servet_obs::span("suite.memory_overhead");
+    let mut stage_span = servet_obs::span("suite.memory_overhead");
+    let coh0 = platform.coherence_traffic_total();
     let memory = if config.skip_memory || platform.num_cores() < 2 {
         None
     } else {
         Some(characterize_memory(platform, &config.memory))
     };
+    annotate_coherence(&mut stage_span, coh0, platform);
     drop(stage_span);
     let t3 = platform.elapsed_seconds();
 
     // Stage 4: communication costs (Fig. 7), probing with the detected L1
     // size.
-    let stage_span = servet_obs::span("suite.communication");
+    let mut stage_span = servet_obs::span("suite.communication");
+    let coh0 = platform.coherence_traffic_total();
     let communication = if config.skip_comm || !platform.supports_messaging() {
         None
     } else {
@@ -215,6 +257,7 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
         result.probe_size_fallback = fell_back;
         Some(result)
     };
+    annotate_coherence(&mut stage_span, coh0, platform);
     drop(stage_span);
     let t4 = platform.elapsed_seconds();
 
@@ -223,12 +266,18 @@ pub fn run_full_suite(platform: &mut dyn Platform, config: &SuiteConfig) -> Suit
     // measurement noise draw for the paper's own stages exactly as they
     // did before this stage existed.
     let false_sharing = if config.run_false_sharing && platform.supports_coherence_probes() {
-        let _fs_span = servet_obs::span("suite.false_sharing");
+        let mut fs_span = servet_obs::span("suite.false_sharing");
+        // The stage drains machine counters internally (the sweep
+        // classifies per-configuration traffic), which is exactly why
+        // the annotation diffs the *monotone* lifetime total instead.
+        let coh0 = platform.coherence_traffic_total();
         if let Some(shared) = shared.as_mut() {
             let sizes: Vec<usize> = cache_levels.iter().map(|c| c.size).collect();
             shared.miss_decomposition = decompose_shared_misses(platform, &sizes, &config.shared);
         }
-        Some(detect_false_sharing(platform, &config.false_sharing))
+        let fs = detect_false_sharing(platform, &config.false_sharing);
+        annotate_coherence(&mut fs_span, coh0, platform);
+        Some(fs)
     } else {
         None
     };
@@ -320,6 +369,36 @@ mod tests {
                 .abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn false_sharing_stage_annotates_its_span_with_coherence_traffic() {
+        let mut p = SimPlatform::tiny().with_noise(0.0);
+        let cfg = SuiteConfig {
+            skip_comm: true,
+            skip_memory: true,
+            run_false_sharing: true,
+            ..SuiteConfig::small(128 * KB)
+        };
+        let (_report, manifest) = run_suite(&mut p, &cfg);
+        let fs = manifest
+            .spans
+            .iter()
+            .find(|s| s.name == "suite.false_sharing")
+            .expect("false-sharing stage span missing");
+        let note = fs
+            .annotation
+            .as_deref()
+            .expect("false-sharing span must carry its coherence traffic");
+        assert!(note.starts_with("coh inv="), "unexpected annotation {note}");
+        // Private-traversal stages generate no coherence traffic, so
+        // their spans stay unannotated.
+        let cs = manifest
+            .spans
+            .iter()
+            .find(|s| s.name == "suite.cache_size")
+            .unwrap();
+        assert_eq!(cs.annotation, None);
     }
 
     #[test]

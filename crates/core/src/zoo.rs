@@ -52,6 +52,15 @@ pub struct ZooConfig {
     pub perturb: PerturbConfig,
     /// Range the per-machine measurement noise is drawn from.
     pub noise: (f64, f64),
+    /// Extra MB-range machines (perturbations of
+    /// [`servet_sim::presets::mb_smp`]) appended *after* the `machines`
+    /// standard members, so enabling them never shifts the standard
+    /// population's derived seeds. Zero by default.
+    pub mb_machines: usize,
+    /// Suite the MB-range members run with — a wider, coarser
+    /// mcalibrator sweep sized for multi-megabyte caches (see
+    /// [`ZooConfig::mb_suite`]).
+    pub mb_suite: SuiteConfig,
 }
 
 impl ZooConfig {
@@ -93,6 +102,53 @@ impl ZooConfig {
             },
             perturb: PerturbConfig::default(),
             noise: (0.001, 0.006),
+            mb_machines: 0,
+            mb_suite: Self::mb_suite(),
+        }
+    }
+
+    /// Suite configuration for the MB-range members: the same stages as
+    /// the standard zoo suite, but with the mcalibrator sweep rescaled
+    /// for caches in the 16 KB – 4 MB band the perturbed
+    /// [`servet_sim::presets::mb_smp`] spans. Doubling ends at 64 KB
+    /// (so every perturbed L1 — 16/32/64 KB — sits in the dense region)
+    /// and the linear tail steps 64 KB up to 8 MB (every perturbed L2 —
+    /// 1/2/4 MB — lands on the grid with plenty of interior points).
+    /// Affordable only on the packed fast-path engine: the sweep
+    /// replays ~10⁸ simulated accesses per machine.
+    pub fn mb_suite() -> SuiteConfig {
+        const KB: usize = 1024;
+        const MB: usize = 1024 * KB;
+        SuiteConfig {
+            skip_memory: true,
+            mcalibrator: crate::mcalibrator::McalibratorConfig {
+                min_size: 4 * KB,
+                max_size: 8 * MB,
+                stride: KB,
+                double_until: 64 * KB,
+                linear_step: 64 * KB,
+            },
+            detect: crate::cache_detect::DetectConfig {
+                gradient_threshold: 1.10,
+                merge_gap: 5,
+                ..crate::cache_detect::DetectConfig::small()
+            },
+            run_false_sharing: true,
+            ..SuiteConfig::small(8 * MB)
+        }
+    }
+
+    /// Total population size: standard members plus MB-range members.
+    pub fn population_size(&self) -> usize {
+        self.machines + self.mb_machines
+    }
+
+    /// The suite configuration population member `index` runs with.
+    pub fn suite_for(&self, index: usize) -> &SuiteConfig {
+        if index < self.machines {
+            &self.suite
+        } else {
+            &self.mb_suite
         }
     }
 }
@@ -124,16 +180,26 @@ fn derive_seed(master: u64, index: usize) -> u64 {
 
 /// Generate the deterministic population for `config`: machine `i` is a
 /// perturbation of preset `i % 3` under a seed derived from the zoo seed.
+/// When [`ZooConfig::mb_machines`] is non-zero, that many perturbations
+/// of the MB-range [`servet_sim::presets::mb_smp`] preset follow at
+/// indices `machines..machines + mb_machines`; because their seeds
+/// derive from those later indices, the standard prefix is byte-identical
+/// with MB members on or off.
 pub fn generate_population(config: &ZooConfig) -> Vec<ZooMachine> {
     let bases = [
         servet_sim::presets::tiny_smp(),
         servet_sim::presets::tiny_shared_l2(),
         servet_sim::presets::tiny_numa(),
     ];
-    (0..config.machines)
+    let mb_base = servet_sim::presets::mb_smp();
+    (0..config.population_size())
         .map(|index| {
             let machine_seed = derive_seed(config.seed, index);
-            let base = &bases[index % bases.len()];
+            let base = if index < config.machines {
+                &bases[index % bases.len()]
+            } else {
+                &mb_base
+            };
             let spec = perturb(base, machine_seed, &config.perturb);
             let mut rng = ChaCha8Rng::seed_from_u64(machine_seed ^ 0x004E_015E);
             let noise = if config.noise.0 < config.noise.1 {
@@ -355,7 +421,7 @@ impl StageTimeStats {
 pub struct ZooReport {
     /// Master seed of the run.
     pub seed: u64,
-    /// Population size.
+    /// Population size, MB-range members included.
     pub machines: usize,
     /// Aggregate detection accuracy.
     pub accuracy: ZooAccuracy,
@@ -416,7 +482,7 @@ where
                         let Some(machine) = population.get(index) else {
                             return Ok(());
                         };
-                        let (report, manifest) = run_machine(machine, &config.suite);
+                        let (report, manifest) = run_machine(machine, config.suite_for(index));
                         if let Some(sink) = sink.as_mut() {
                             sink.publish(machine, &report, &manifest)?;
                         }
@@ -507,7 +573,7 @@ fn aggregate(config: &ZooConfig, per_machine: Vec<MachineRow>) -> ZooReport {
 
     ZooReport {
         seed: config.seed,
-        machines: config.machines,
+        machines: per_machine.len(),
         accuracy,
         stage_times,
         per_machine,
@@ -546,6 +612,30 @@ mod tests {
         let a = generate_population(&ZooConfig::new(6, 1, 1));
         let b = generate_population(&ZooConfig::new(6, 1, 2));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mb_members_append_without_shifting_the_standard_prefix() {
+        let plain = ZooConfig::new(6, 1, 9);
+        let mut with_mb = ZooConfig::new(6, 1, 9);
+        with_mb.mb_machines = 2;
+        let a = generate_population(&plain);
+        let b = generate_population(&with_mb);
+        assert_eq!(b.len(), 8);
+        assert_eq!(a, b[..6], "standard members must not move");
+        for m in &b[6..] {
+            assert_eq!(m.base, "mb_smp");
+            m.spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", m.spec.name));
+            assert!(
+                m.spec.caches.iter().any(|c| c.size >= 1024 * 1024),
+                "{} should keep an MB-range cache after perturbation",
+                m.spec.name
+            );
+            assert_eq!(with_mb.suite_for(m.index).mcalibrator.max_size, 8 << 20);
+        }
+        assert_eq!(with_mb.suite_for(0).mcalibrator.max_size, 1024 * 1024);
     }
 
     #[test]

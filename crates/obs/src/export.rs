@@ -51,8 +51,13 @@ fn histogram_json(snap: &HistogramSnapshot) -> String {
 }
 
 fn span_json(s: &SpanRecord) -> String {
+    let annotation = s
+        .annotation
+        .as_ref()
+        .map(|a| format!(",\"annotation\":\"{}\"", json_escape(a)))
+        .unwrap_or_default();
     format!(
-        "{{\"name\":\"{}\",\"depth\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+        "{{\"name\":\"{}\",\"depth\":{},\"start_ns\":{},\"duration_ns\":{}{annotation}}}",
         json_escape(&s.name),
         s.depth,
         s.start_ns,

@@ -55,6 +55,10 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub duration_ns: u64,
+    /// Free-form payload attached via [`SpanGuard::annotate`] — e.g. the
+    /// coherence traffic a suite stage generated. Rendered in brackets
+    /// after the name by [`render_span_tree`].
+    pub annotation: Option<String>,
 }
 
 /// Live guard for an open span; dropping it records the span.
@@ -64,12 +68,21 @@ pub struct SpanGuard {
     name: Option<String>,
     depth: usize,
     start: Instant,
+    annotation: Option<String>,
 }
 
 impl SpanGuard {
     /// Wall time elapsed since the span opened.
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+
+    /// Attach a payload to the span's record (last call wins). A no-op
+    /// on a disabled guard.
+    pub fn annotate(&mut self, text: impl Into<String>) {
+        if self.name.is_some() {
+            self.annotation = Some(text.into());
+        }
     }
 }
 
@@ -85,6 +98,7 @@ impl Drop for SpanGuard {
             depth: self.depth,
             start_ns: saturating_ns(self.start.saturating_duration_since(epoch())),
             duration_ns: saturating_ns(duration),
+            annotation: self.annotation.take(),
         };
         // An active per-run scope on this thread owns the record; it
         // reaches the global log when the scope merges on finish.
@@ -121,6 +135,7 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
             name: None,
             depth: 0,
             start: Instant::now(),
+            annotation: None,
         };
     }
     let depth = DEPTH.with(|d| {
@@ -133,6 +148,7 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
         name: Some(name.into()),
         depth,
         start: Instant::now(),
+        annotation: None,
     }
 }
 
@@ -178,11 +194,15 @@ pub fn render_span_tree(spans: &[SpanRecord]) -> String {
     let mut out = String::new();
     for s in ordered {
         out.push_str(&format!(
-            "{:>10}  {}{}\n",
+            "{:>10}  {}{}",
             format_ns(s.duration_ns),
             "  ".repeat(s.depth),
             s.name
         ));
+        if let Some(note) = &s.annotation {
+            out.push_str(&format!("  [{note}]"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -263,19 +283,42 @@ mod tests {
                 depth: 0,
                 start_ns: 0,
                 duration_ns: 2_000_000,
+                annotation: None,
             },
             SpanRecord {
                 name: "child".into(),
                 depth: 1,
                 start_ns: 10,
                 duration_ns: 1_500,
+                annotation: Some("inv=3".into()),
             },
         ];
         let tree = render_span_tree(&spans);
         let lines: Vec<&str> = tree.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("2.00 ms") && lines[0].ends_with("root"));
-        assert!(lines[1].contains("1.50 us") && lines[1].ends_with("  child"));
+        assert!(lines[1].contains("1.50 us") && lines[1].ends_with("  child  [inv=3]"));
+    }
+
+    #[test]
+    fn annotations_survive_to_the_record() {
+        let _serial = serial();
+        {
+            let mut g = span("t5.annotated");
+            g.annotate("first");
+            g.annotate("coh inv=7");
+        }
+        let spans = spans_snapshot();
+        let rec = spans.iter().find(|s| s.name == "t5.annotated").unwrap();
+        assert_eq!(rec.annotation.as_deref(), Some("coh inv=7"));
+
+        set_spans_enabled(false);
+        {
+            let mut g = span("t5.disabled");
+            g.annotate("dropped");
+        }
+        set_spans_enabled(true);
+        assert!(!spans_snapshot().iter().any(|s| s.name == "t5.disabled"));
     }
 
     #[test]

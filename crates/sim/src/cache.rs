@@ -4,18 +4,40 @@
 //! address space (for virtually indexed caches) or the physical address (for
 //! physically indexed ones); the cache extracts its set index from the key's
 //! low bits and keeps per-set LRU order.
+//!
+//! The production model ([`SetAssocCache`]) stores every way of every set in
+//! one flat, contiguous array with a fixed stride of `associativity` slots
+//! per set, most-recently-used first within each set's occupied prefix. LRU
+//! refresh and fill are in-place rotates over at most `associativity` slots —
+//! no per-set heap vectors, no `remove`/`insert` element shifting through
+//! `Vec` bookkeeping. Set selection uses a mask when the set count is a
+//! power of two (every spec-validated machine cache, and the fully
+//! associative TLB with its single set) and falls back to a modulo for
+//! arbitrary set counts handed to [`SetAssocCache::new`] directly.
+//!
+//! The previous `Vec<Vec<u64>>` model is retained verbatim as
+//! [`reference::ReferenceCache`]: the differential suite replays identical
+//! traces through both and demands bit-identical hits, misses and eviction
+//! decisions (the same pattern PR 5 used for the binomial kernels).
 
-/// A set-associative cache with LRU replacement.
+/// A set-associative cache with LRU replacement, packed into one flat
+/// way array.
 ///
 /// The model is timing-free: it answers *hit or miss* and mutates LRU
 /// state; the cycle engine in [`crate::machine`] attaches costs.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// `sets[s]` holds the line keys resident in set `s`, most recently
-    /// used first.
-    sets: Vec<Vec<u64>>,
+    /// All ways of all sets: set `s` owns `ways[s*assoc .. (s+1)*assoc]`,
+    /// with its `occupied[s]` resident lines first, MRU order.
+    ways: Box<[u64]>,
+    /// Resident-line count per set.
+    occupied: Box<[u16]>,
     associativity: usize,
     num_sets: u64,
+    /// `num_sets - 1` when the set count is a power of two.
+    set_mask: u64,
+    /// Whether `set_mask` is usable (power-of-two set count).
+    pow2_sets: bool,
     hits: u64,
     misses: u64,
 }
@@ -25,25 +47,39 @@ impl SetAssocCache {
     pub fn new(num_sets: usize, associativity: usize) -> Self {
         assert!(num_sets > 0, "cache needs at least one set");
         assert!(associativity > 0, "cache needs at least one way");
+        assert!(
+            associativity <= u16::MAX as usize,
+            "associativity too large"
+        );
         Self {
-            sets: vec![Vec::with_capacity(associativity); num_sets],
+            ways: vec![0u64; num_sets * associativity].into_boxed_slice(),
+            occupied: vec![0u16; num_sets].into_boxed_slice(),
             associativity,
             num_sets: num_sets as u64,
+            set_mask: (num_sets as u64).wrapping_sub(1),
+            pow2_sets: num_sets.is_power_of_two(),
             hits: 0,
             misses: 0,
         }
     }
 
     /// Build a cache from a geometry in bytes.
+    ///
+    /// Degenerate geometries (a size smaller than one full set, as perturbed
+    /// sweeps can produce) clamp to a single set instead of panicking.
     pub fn with_geometry(size: usize, line_size: usize, associativity: usize) -> Self {
-        let num_sets = size / (line_size * associativity);
+        let num_sets = (size / (line_size * associativity)).max(1);
         Self::new(num_sets, associativity)
     }
 
     /// Set index for a line key.
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.num_sets) as usize
+        if self.pow2_sets {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.num_sets) as usize
+        }
     }
 
     /// Look up `line`; on hit, refresh its LRU position. Does **not**
@@ -51,11 +87,12 @@ impl SetAssocCache {
     #[inline]
     pub fn probe(&mut self, line: u64) -> bool {
         let set = self.set_of(line);
-        let ways = &mut self.sets[set];
+        let base = set * self.associativity;
+        let n = self.occupied[set] as usize;
+        let ways = &mut self.ways[base..base + n];
         if let Some(pos) = ways.iter().position(|&l| l == line) {
-            // Move to front (MRU).
-            let l = ways.remove(pos);
-            ways.insert(0, l);
+            // Move to front (MRU): one in-place rotate over pos+1 slots.
+            ways[..=pos].rotate_right(1);
             self.hits += 1;
             true
         } else {
@@ -70,24 +107,61 @@ impl SetAssocCache {
     #[inline]
     pub fn insert(&mut self, line: u64) -> Option<u64> {
         let set = self.set_of(line);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&l| l == line) {
-            let l = ways.remove(pos);
-            ways.insert(0, l);
+        let base = set * self.associativity;
+        let n = self.occupied[set] as usize;
+        let ways = &mut self.ways[base..base + self.associativity];
+        if let Some(pos) = ways[..n].iter().position(|&l| l == line) {
+            ways[..=pos].rotate_right(1);
             return None;
         }
-        let evicted = if ways.len() == self.associativity {
-            ways.pop()
+        if n == self.associativity {
+            // Full set: the LRU line (last slot) falls out of the rotate.
+            let evicted = ways[n - 1];
+            ways.rotate_right(1);
+            ways[0] = line;
+            Some(evicted)
         } else {
+            // Shift the occupied prefix right by one; slot 0 becomes MRU.
+            ways[..=n].rotate_right(1);
+            ways[0] = line;
+            self.occupied[set] = (n + 1) as u16;
             None
-        };
-        ways.insert(0, line);
-        evicted
+        }
+    }
+
+    /// Insert a line the caller has just proven absent (a failed
+    /// [`Self::probe`] with no intervening insert to this set): skips
+    /// [`Self::insert`]'s residency re-scan. Returns the evicted line,
+    /// if any.
+    #[inline]
+    pub fn fill(&mut self, line: u64) -> Option<u64> {
+        let set = self.set_of(line);
+        debug_assert!(
+            !self.ways[set * self.associativity..][..self.occupied[set] as usize].contains(&line),
+            "fill() of a resident line"
+        );
+        let base = set * self.associativity;
+        let n = self.occupied[set] as usize;
+        let ways = &mut self.ways[base..base + self.associativity];
+        if n == self.associativity {
+            let evicted = ways[n - 1];
+            ways.rotate_right(1);
+            ways[0] = line;
+            Some(evicted)
+        } else {
+            ways[..=n].rotate_right(1);
+            ways[0] = line;
+            self.occupied[set] = (n + 1) as u16;
+            None
+        }
     }
 
     /// Whether `line` is resident, without touching LRU state or counters.
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_of(line)].contains(&line)
+        let set = self.set_of(line);
+        let base = set * self.associativity;
+        let n = self.occupied[set] as usize;
+        self.ways[base..base + n].contains(&line)
     }
 
     /// Remove `line` if resident (a coherence invalidation). Does not
@@ -96,9 +170,13 @@ impl SetAssocCache {
     /// counts. Returns whether the line was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
         let set = self.set_of(line);
-        let ways = &mut self.sets[set];
+        let base = set * self.associativity;
+        let n = self.occupied[set] as usize;
+        let ways = &mut self.ways[base..base + n];
         if let Some(pos) = ways.iter().position(|&l| l == line) {
-            ways.remove(pos);
+            // Close the gap, preserving LRU order of the survivors.
+            ways.copy_within(pos + 1.., pos);
+            self.occupied[set] = (n - 1) as u16;
             true
         } else {
             false
@@ -107,21 +185,19 @@ impl SetAssocCache {
 
     /// Drop every line and reset counters.
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.occupied.fill(0);
         self.hits = 0;
         self.misses = 0;
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.occupied.iter().map(|&n| n as usize).sum()
     }
 
     /// Total line capacity.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.associativity
+        self.num_sets as usize * self.associativity
     }
 
     /// Number of ways.
@@ -131,7 +207,7 @@ impl SetAssocCache {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets as usize
     }
 
     /// `(hits, misses)` since construction or the last flush.
@@ -150,8 +226,146 @@ impl SetAssocCache {
     }
 }
 
+pub mod reference {
+    //! The pre-fast-path cache model, retained for differential testing.
+    //!
+    //! This is the original `SetAssocCache`: one heap `Vec` per set,
+    //! modulo set selection, LRU maintained by `Vec::remove` +
+    //! `Vec::insert`. Its API mirrors the packed model exactly so the
+    //! differential suite (and [`crate::reference::ReferenceMachine`])
+    //! can drive both with the same code.
+
+    /// A set-associative LRU cache backed by one `Vec` per set.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceCache {
+        /// `sets[s]` holds the line keys resident in set `s`, most
+        /// recently used first.
+        sets: Vec<Vec<u64>>,
+        associativity: usize,
+        num_sets: u64,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl ReferenceCache {
+        /// Build a cache with `num_sets` sets of `associativity` ways.
+        pub fn new(num_sets: usize, associativity: usize) -> Self {
+            assert!(num_sets > 0, "cache needs at least one set");
+            assert!(associativity > 0, "cache needs at least one way");
+            Self {
+                sets: vec![Vec::with_capacity(associativity); num_sets],
+                associativity,
+                num_sets: num_sets as u64,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        /// Build a cache from a geometry in bytes (clamped to ≥ 1 set,
+        /// matching the packed model).
+        pub fn with_geometry(size: usize, line_size: usize, associativity: usize) -> Self {
+            let num_sets = (size / (line_size * associativity)).max(1);
+            Self::new(num_sets, associativity)
+        }
+
+        /// Set index for a line key.
+        #[inline]
+        fn set_of(&self, line: u64) -> usize {
+            (line % self.num_sets) as usize
+        }
+
+        /// Look up `line`; on hit, refresh its LRU position.
+        #[inline]
+        pub fn probe(&mut self, line: u64) -> bool {
+            let set = self.set_of(line);
+            let ways = &mut self.sets[set];
+            if let Some(pos) = ways.iter().position(|&l| l == line) {
+                let l = ways.remove(pos);
+                ways.insert(0, l);
+                self.hits += 1;
+                true
+            } else {
+                self.misses += 1;
+                false
+            }
+        }
+
+        /// Insert `line` as MRU, evicting the LRU line of its set if
+        /// full. Returns the evicted line, if any.
+        #[inline]
+        pub fn insert(&mut self, line: u64) -> Option<u64> {
+            let set = self.set_of(line);
+            let ways = &mut self.sets[set];
+            if let Some(pos) = ways.iter().position(|&l| l == line) {
+                let l = ways.remove(pos);
+                ways.insert(0, l);
+                return None;
+            }
+            let evicted = if ways.len() == self.associativity {
+                ways.pop()
+            } else {
+                None
+            };
+            ways.insert(0, line);
+            evicted
+        }
+
+        /// Whether `line` is resident, without touching LRU state.
+        pub fn contains(&self, line: u64) -> bool {
+            self.sets[self.set_of(line)].contains(&line)
+        }
+
+        /// Remove `line` if resident; returns whether it was present.
+        pub fn invalidate(&mut self, line: u64) -> bool {
+            let set = self.set_of(line);
+            let ways = &mut self.sets[set];
+            if let Some(pos) = ways.iter().position(|&l| l == line) {
+                ways.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Drop every line and reset counters.
+        pub fn flush(&mut self) {
+            for s in &mut self.sets {
+                s.clear();
+            }
+            self.hits = 0;
+            self.misses = 0;
+        }
+
+        /// Number of resident lines.
+        pub fn resident_lines(&self) -> usize {
+            self.sets.iter().map(Vec::len).sum()
+        }
+
+        /// Total line capacity.
+        pub fn capacity_lines(&self) -> usize {
+            self.sets.len() * self.associativity
+        }
+
+        /// Number of ways.
+        pub fn associativity(&self) -> usize {
+            self.associativity
+        }
+
+        /// Number of sets.
+        pub fn num_sets(&self) -> usize {
+            self.sets.len()
+        }
+
+        /// `(hits, misses)` since construction or the last flush.
+        pub fn stats(&self) -> (u64, u64) {
+            (self.hits, self.misses)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceCache;
     use super::*;
 
     #[test]
@@ -169,6 +383,39 @@ mod tests {
         assert_eq!(c.num_sets(), 64);
         assert_eq!(c.capacity_lines(), 512);
         assert_eq!(c.associativity(), 8);
+    }
+
+    #[test]
+    fn degenerate_geometry_clamps_to_one_set() {
+        // Smaller than one full set: 4 KB with 256 B lines at 32 ways
+        // yields 4096 / (256*32) = 0 sets before clamping.
+        let c = SetAssocCache::with_geometry(4 * 1024, 256, 32);
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.capacity_lines(), 32);
+        let r = ReferenceCache::with_geometry(4 * 1024, 256, 32);
+        assert_eq!(r.num_sets(), 1);
+
+        // Exactly one set survives undisturbed.
+        let c = SetAssocCache::with_geometry(256 * 32, 256, 32);
+        assert_eq!(c.num_sets(), 1);
+
+        // Huge lines: 1 KB cache with 4 KB sector lines.
+        let mut c = SetAssocCache::with_geometry(1024, 4096, 2);
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), None);
+        assert_eq!(c.insert(3), Some(1));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_still_map_by_modulo() {
+        let mut c = SetAssocCache::new(3, 1);
+        for line in 0..3u64 {
+            c.insert(line);
+        }
+        assert_eq!(c.resident_lines(), 3);
+        // Line 3 aliases set 0 (3 % 3) and evicts line 0.
+        assert_eq!(c.insert(3), Some(0));
     }
 
     #[test]
@@ -258,6 +505,19 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_preserves_lru_order_of_survivors() {
+        let mut c = SetAssocCache::new(1, 4);
+        for l in [1u64, 2, 3, 4] {
+            c.insert(l);
+        }
+        // MRU..LRU = 4 3 2 1; drop 3, then fill two more: 1 must go first.
+        assert!(c.invalidate(3));
+        assert_eq!(c.insert(5), None); // set now 5 4 2 1
+        assert_eq!(c.insert(6), Some(1));
+        assert_eq!(c.insert(7), Some(2));
+    }
+
+    #[test]
     fn flush_clears_everything() {
         let mut c = SetAssocCache::new(2, 2);
         c.insert(1);
@@ -276,6 +536,54 @@ mod tests {
         c.probe(5); // hit
         c.probe(5); // hit
         assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// `fill` after a failed probe behaves exactly like `insert` — same
+    /// eviction decisions, same final state.
+    #[test]
+    fn fill_matches_insert_for_absent_lines() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xF111);
+        let mut a = SetAssocCache::new(8, 4);
+        let mut b = SetAssocCache::new(8, 4);
+        for _ in 0..2000 {
+            let line = rng.gen_range(0..96u64);
+            let ha = a.probe(line);
+            let hb = b.probe(line);
+            assert_eq!(ha, hb);
+            if !ha {
+                assert_eq!(a.fill(line), b.insert(line), "line {line}");
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.resident_lines(), b.resident_lines());
+        for line in 0..96u64 {
+            assert_eq!(a.contains(line), b.contains(line));
+        }
+    }
+
+    /// Seeded random op streams through the packed and reference models
+    /// agree on every probe result, every eviction decision and the final
+    /// counters — the cache-level differential gate.
+    #[test]
+    fn differential_random_ops_match_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xCAFE);
+        for (sets, assoc) in [(1usize, 1usize), (1, 4), (4, 2), (8, 8), (3, 2), (64, 12)] {
+            let mut fast = SetAssocCache::new(sets, assoc);
+            let mut slow = ReferenceCache::new(sets, assoc);
+            for _ in 0..4000 {
+                let line = rng.gen_range(0..(sets as u64 * assoc as u64 * 3));
+                match rng.gen_range(0..4) {
+                    0 => assert_eq!(fast.probe(line), slow.probe(line)),
+                    1 => assert_eq!(fast.insert(line), slow.insert(line), "line {line}"),
+                    2 => assert_eq!(fast.invalidate(line), slow.invalidate(line)),
+                    _ => assert_eq!(fast.contains(line), slow.contains(line)),
+                }
+            }
+            assert_eq!(fast.stats(), slow.stats());
+            assert_eq!(fast.resident_lines(), slow.resident_lines());
+        }
     }
 
     impl SetAssocCache {

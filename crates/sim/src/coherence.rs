@@ -17,6 +17,21 @@
 //! transaction latency) and bookkeeping (which remote copies to
 //! invalidate, whether a miss was a coherence miss or a capacity miss).
 //!
+//! The directory is an open-addressed hash table with a seeded
+//! multiplicative hash, power-of-two capacity and linear probing. Nothing
+//! observable depends on table order: lines are looked up by exact key
+//! only, never iterated, and per-line state is packed into core bitmasks
+//! whose derived outputs (invalidation sets, sharer counts) are read in
+//! ascending core order by construction. Determinism therefore does not
+//! lean on sorted iteration — the order-independence test replays one
+//! trace under several hash seeds and demands identical traffic. Slots
+//! are epoch-stamped: [`CoherenceEngine::reset`] bumps the epoch and
+//! every slot becomes logically empty, making `Machine::reset` O(1)
+//! instead of a directory teardown.
+//!
+//! The previous `BTreeMap` directory is retained verbatim as
+//! [`reference::ReferenceEngine`] for the differential suite.
+//!
 //! Two simplifications, both deterministic and both documented here
 //! because they matter for interpreting counters:
 //!
@@ -32,7 +47,6 @@
 //!   traverse a single shared [`crate::machine::SimArray`]).
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 use crate::spec::CoreId;
 
@@ -140,23 +154,37 @@ impl CoherenceTraffic {
             self.coherence_misses as f64 / total as f64
         }
     }
-}
 
-/// Directory entry: the MESI state each core holds for one line, plus
-/// which cores have lost their copy to an invalidation and not yet
-/// re-accessed the line (the coherence-miss classifier).
-#[derive(Debug, Clone)]
-struct LineDir {
-    states: Vec<MesiState>,
-    invalidated: u64,
-}
-
-impl LineDir {
-    fn new(num_cores: usize) -> Self {
-        Self {
-            states: vec![MesiState::Invalid; num_cores],
-            invalidated: 0,
+    /// Counter-wise difference against an earlier snapshot of the same
+    /// monotone counters (saturating, so a stale baseline cannot wrap).
+    pub fn since(&self, earlier: &CoherenceTraffic) -> CoherenceTraffic {
+        CoherenceTraffic {
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            interventions: self.interventions.saturating_sub(earlier.interventions),
+            upgrades: self.upgrades.saturating_sub(earlier.upgrades),
+            coherence_misses: self
+                .coherence_misses
+                .saturating_sub(earlier.coherence_misses),
+            capacity_misses: self.capacity_misses.saturating_sub(earlier.capacity_misses),
         }
+    }
+
+    /// Counter-wise sum with another traffic snapshot.
+    pub fn plus(&self, other: &CoherenceTraffic) -> CoherenceTraffic {
+        CoherenceTraffic {
+            invalidations: self.invalidations + other.invalidations,
+            writebacks: self.writebacks + other.writebacks,
+            interventions: self.interventions + other.interventions,
+            upgrades: self.upgrades + other.upgrades,
+            coherence_misses: self.coherence_misses + other.coherence_misses,
+            capacity_misses: self.capacity_misses + other.capacity_misses,
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        *self == CoherenceTraffic::default()
     }
 }
 
@@ -178,23 +206,85 @@ pub struct CoherenceOutcome {
     pub supplied_by_cache: bool,
 }
 
+/// Allocation-free sibling of [`CoherenceOutcome`]: the cycle engine's
+/// hot path receives the invalidation set through a caller-owned scratch
+/// vector instead of a per-access allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct CoherenceResult {
+    /// Extra cycles this access pays.
+    pub extra_cycles: f64,
+    /// Whether a miss on this access was a coherence miss.
+    pub coherence_miss: bool,
+    /// Whether the line was supplied cache-to-cache.
+    pub supplied_by_cache: bool,
+}
+
+/// One open-addressed directory slot. A slot is live iff its `epoch`
+/// matches the table's; per-core MESI states are packed into bitmasks
+/// (`valid`/`modified`/`exclusive`), which is also what makes remote-copy
+/// scans O(1) mask ops instead of per-core loops.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirSlot {
+    key: u64,
+    epoch: u64,
+    /// Cores holding a non-Invalid copy.
+    valid: u64,
+    /// Cores holding the line Modified (subset of `valid`).
+    modified: u64,
+    /// Cores holding the line Exclusive (subset of `valid`).
+    exclusive: u64,
+    /// Cores whose copy was invalidated and not yet re-fetched (the
+    /// coherence-miss classifier).
+    invalidated: u64,
+}
+
+/// Finalizing mix (splitmix64): full-avalanche, so low bits of the slot
+/// index depend on every key bit.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
 /// The per-machine MESI directory and snoop bus.
 #[derive(Debug, Clone)]
 pub struct CoherenceEngine {
     spec: CoherenceSpec,
     num_cores: usize,
-    /// `BTreeMap` (not `HashMap`): iteration order never influences
-    /// decisions, but deterministic structures keep the whole engine
-    /// trivially reproducible.
-    lines: BTreeMap<u64, LineDir>,
+    /// Open-addressed line directory: power-of-two capacity, linear
+    /// probing, epoch-stamped slots (slots from an older epoch read as
+    /// empty, so reset never touches the table).
+    slots: Box<[DirSlot]>,
+    /// `slots.len() - 1`.
+    index_mask: usize,
+    /// Live entries in the current epoch.
+    len: usize,
+    /// Current epoch; starts at 1 so zero-initialized slots are empty.
+    epoch: u64,
+    /// Hash seed, XORed into keys before mixing.
+    hash_seed: u64,
     traffic: CoherenceTraffic,
     /// Cycle at which the snoop bus becomes free.
     snoop_free_at: f64,
 }
 
+/// Initial directory capacity (slots). Grows by doubling at 3/4 load.
+const INITIAL_DIR_CAPACITY: usize = 1024;
+
 impl CoherenceEngine {
     /// Build an engine for a machine with `num_cores` cores.
     pub fn new(spec: CoherenceSpec, num_cores: usize) -> Self {
+        Self::with_hash_seed(spec, num_cores, 0x5EED_C0DE_D1CE_u64)
+    }
+
+    /// Build an engine with an explicit directory hash seed. Observable
+    /// behavior is seed-independent (the order-independence test relies
+    /// on exactly this constructor).
+    pub fn with_hash_seed(spec: CoherenceSpec, num_cores: usize, hash_seed: u64) -> Self {
         assert!(
             num_cores <= 64,
             "coherence directory tracks at most 64 cores"
@@ -202,7 +292,11 @@ impl CoherenceEngine {
         Self {
             spec,
             num_cores,
-            lines: BTreeMap::new(),
+            slots: vec![DirSlot::default(); INITIAL_DIR_CAPACITY].into_boxed_slice(),
+            index_mask: INITIAL_DIR_CAPACITY - 1,
+            len: 0,
+            epoch: 1,
+            hash_seed,
             traffic: CoherenceTraffic::default(),
             snoop_free_at: 0.0,
         }
@@ -225,21 +319,101 @@ impl CoherenceEngine {
     }
 
     /// Drop all directory state, traffic and the snoop-bus clock.
+    ///
+    /// O(1): the epoch stamp advances and every slot becomes logically
+    /// empty without being touched; capacity is retained for reuse.
     pub fn reset(&mut self) {
-        self.lines.clear();
+        self.epoch += 1;
+        self.len = 0;
         self.traffic = CoherenceTraffic::default();
         self.snoop_free_at = 0.0;
     }
 
+    /// Number of lines the directory currently tracks.
+    pub fn tracked_lines(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot_index(&self, key: u64) -> usize {
+        mix64(key ^ self.hash_seed) as usize & self.index_mask
+    }
+
+    /// Find the live slot for `key`, if any.
+    #[inline]
+    fn find(&self, key: u64) -> Option<&DirSlot> {
+        let mut i = self.slot_index(key);
+        loop {
+            let s = &self.slots[i];
+            if s.epoch != self.epoch {
+                return None;
+            }
+            if s.key == key {
+                return Some(s);
+            }
+            i = (i + 1) & self.index_mask;
+        }
+    }
+
+    /// Find or claim the slot for `key`; returns its index.
+    #[inline]
+    fn find_or_insert(&mut self, key: u64) -> usize {
+        // Keep load below 3/4 so probe chains stay short.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot_index(key);
+        loop {
+            let s = &self.slots[i];
+            if s.epoch != self.epoch {
+                self.slots[i] = DirSlot {
+                    key,
+                    epoch: self.epoch,
+                    ..DirSlot::default()
+                };
+                self.len += 1;
+                return i;
+            }
+            if s.key == key {
+                return i;
+            }
+            i = (i + 1) & self.index_mask;
+        }
+    }
+
+    /// Double the table, re-slotting live entries. Layout after growth is
+    /// a pure function of the live set and the seed — deterministic.
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![DirSlot::default(); new_cap].into_boxed_slice(),
+        );
+        self.index_mask = new_cap - 1;
+        for s in old.iter().filter(|s| s.epoch == self.epoch) {
+            let mut i = self.slot_index(s.key);
+            while self.slots[i].epoch == self.epoch {
+                i = (i + 1) & self.index_mask;
+            }
+            self.slots[i] = *s;
+        }
+    }
+
     /// MESI state `core` holds for `phys_line` (Invalid if untracked).
     pub fn state_of(&self, core: CoreId, phys_line: u64) -> MesiState {
-        self.lines
-            .get(&phys_line)
-            .map_or(MesiState::Invalid, |d| d.states[core])
+        let bit = 1u64 << core;
+        match self.find(phys_line) {
+            None => MesiState::Invalid,
+            Some(s) if s.valid & bit == 0 => MesiState::Invalid,
+            Some(s) if s.modified & bit != 0 => MesiState::Modified,
+            Some(s) if s.exclusive & bit != 0 => MesiState::Exclusive,
+            Some(_) => MesiState::Shared,
+        }
     }
 
     /// Serialize one transaction on the snoop bus: returns the wait +
     /// occupancy cycles the requester pays, and advances the bus clock.
+    #[inline]
     fn bus_transaction(&mut self, now: f64) -> f64 {
         let start = now.max(self.snoop_free_at);
         self.snoop_free_at = start + self.spec.bus_occupancy_cycles;
@@ -260,17 +434,44 @@ impl CoherenceEngine {
         cache_hit: bool,
         now: f64,
     ) -> CoherenceOutcome {
-        let num_cores = self.num_cores;
-        let dir = self
-            .lines
-            .entry(phys_line)
-            .or_insert_with(|| LineDir::new(num_cores));
+        let mut invalidate_cores = Vec::new();
+        let res = self.access_into(
+            core,
+            phys_line,
+            write,
+            cache_hit,
+            now,
+            &mut invalidate_cores,
+        );
+        CoherenceOutcome {
+            extra_cycles: res.extra_cycles,
+            invalidate_cores,
+            coherence_miss: res.coherence_miss,
+            supplied_by_cache: res.supplied_by_cache,
+        }
+    }
+
+    /// Allocation-free core of [`Self::access`]: the remote cores to
+    /// invalidate are appended to `invalidate_out` (cleared first, filled
+    /// in ascending core order).
+    pub fn access_into(
+        &mut self,
+        core: CoreId,
+        phys_line: u64,
+        write: bool,
+        cache_hit: bool,
+        now: f64,
+        invalidate_out: &mut Vec<CoreId>,
+    ) -> CoherenceResult {
+        invalidate_out.clear();
+        let bit = 1u64 << core;
+        let si = self.find_or_insert(phys_line);
+        let slot = &mut self.slots[si];
 
         // Classify the miss before mutating anything: a miss on a line
         // the directory saw invalidated out from under this core is a
         // coherence miss; any other tracked miss is capacity/cold.
-        let was_invalidated = dir.invalidated & (1 << core) != 0;
-        let coherence_miss = !cache_hit && was_invalidated;
+        let coherence_miss = !cache_hit && slot.invalidated & bit != 0;
         if !cache_hit {
             if coherence_miss {
                 self.traffic.coherence_misses += 1;
@@ -278,86 +479,83 @@ impl CoherenceEngine {
                 self.traffic.capacity_misses += 1;
             }
         }
-        dir.invalidated &= !(1 << core);
+        slot.invalidated &= !bit;
 
-        let my_state = dir.states[core];
-        let remote: Vec<CoreId> = (0..num_cores)
-            .filter(|&c| c != core && dir.states[c] != MesiState::Invalid)
-            .collect();
-        let remote_modified = remote.iter().any(|&c| dir.states[c] == MesiState::Modified);
+        let remote = slot.valid & !bit;
+        let remote_modified = slot.modified & !bit != 0;
 
         let mut latency = 0.0;
         let mut transactions = 0u32;
-        let mut invalidate_cores = Vec::new();
+        let mut invalidate_mask = 0u64;
         let mut supplied_by_cache = false;
 
         if write {
-            match my_state {
-                MesiState::Modified => {}
-                MesiState::Exclusive => {
-                    // E→M is silent: no other copy exists.
-                    dir.states[core] = MesiState::Modified;
+            if slot.modified & bit != 0 {
+                // Already Modified: silent.
+            } else if slot.exclusive & bit != 0 {
+                // E→M is silent: no other copy exists.
+                slot.exclusive &= !bit;
+                slot.modified |= bit;
+            } else if slot.valid & bit != 0 {
+                // Shared: broadcast an upgrade to every sharer.
+                self.traffic.upgrades += 1;
+                latency += self.spec.upgrade_cycles;
+                transactions += 1;
+                if remote != 0 {
+                    self.traffic.invalidations += remote.count_ones() as u64;
+                    latency += self.spec.invalidate_cycles;
+                    invalidate_mask = remote;
                 }
-                MesiState::Shared => {
-                    // Upgrade: broadcast an invalidation to every sharer.
-                    self.traffic.upgrades += 1;
-                    latency += self.spec.upgrade_cycles;
+                slot.modified |= bit;
+            } else {
+                // Invalid: read-for-ownership — fetch the line,
+                // invalidating every remote copy; a dirty owner writes
+                // back and supplies the line cache-to-cache.
+                if remote_modified {
+                    self.traffic.writebacks += 1;
+                    self.traffic.interventions += 1;
+                    latency += self.spec.writeback_cycles + self.spec.intervention_cycles;
                     transactions += 1;
-                    if !remote.is_empty() {
-                        self.traffic.invalidations += remote.len() as u64;
-                        latency += self.spec.invalidate_cycles;
-                        invalidate_cores = remote.clone();
-                    }
-                    dir.states[core] = MesiState::Modified;
+                    supplied_by_cache = true;
                 }
-                MesiState::Invalid => {
-                    // Read-for-ownership: fetch the line, invalidating
-                    // every remote copy; a dirty owner writes back and
-                    // supplies the line cache-to-cache.
-                    if remote_modified {
-                        self.traffic.writebacks += 1;
-                        self.traffic.interventions += 1;
-                        latency += self.spec.writeback_cycles + self.spec.intervention_cycles;
-                        transactions += 1;
-                        supplied_by_cache = true;
-                    }
-                    if !remote.is_empty() {
-                        self.traffic.invalidations += remote.len() as u64;
-                        latency += self.spec.invalidate_cycles;
-                        transactions += 1;
-                        invalidate_cores = remote.clone();
-                    }
-                    dir.states[core] = MesiState::Modified;
+                if remote != 0 {
+                    self.traffic.invalidations += remote.count_ones() as u64;
+                    latency += self.spec.invalidate_cycles;
+                    transactions += 1;
+                    invalidate_mask = remote;
+                }
+                slot.valid |= bit;
+                slot.modified |= bit;
+            }
+            if invalidate_mask != 0 {
+                slot.valid &= !invalidate_mask;
+                slot.modified &= !invalidate_mask;
+                slot.exclusive &= !invalidate_mask;
+                slot.invalidated |= invalidate_mask;
+                let mut m = invalidate_mask;
+                while m != 0 {
+                    let c = m.trailing_zeros() as usize;
+                    invalidate_out.push(c);
+                    m &= m - 1;
                 }
             }
-            for &c in &invalidate_cores {
-                dir.states[c] = MesiState::Invalid;
-                dir.invalidated |= 1 << c;
-            }
-        } else {
-            match my_state {
-                MesiState::Modified | MesiState::Exclusive | MesiState::Shared => {}
-                MesiState::Invalid => {
-                    if remote_modified {
-                        // The dirty owner writes back and supplies the
-                        // line; both copies end Shared.
-                        self.traffic.writebacks += 1;
-                        self.traffic.interventions += 1;
-                        latency += self.spec.writeback_cycles + self.spec.intervention_cycles;
-                        transactions += 1;
-                        supplied_by_cache = true;
-                        for c in 0..num_cores {
-                            if dir.states[c] == MesiState::Modified {
-                                dir.states[c] = MesiState::Shared;
-                            }
-                        }
-                        dir.states[core] = MesiState::Shared;
-                    } else if !remote.is_empty() {
-                        dir.states[core] = MesiState::Shared;
-                    } else {
-                        dir.states[core] = MesiState::Exclusive;
-                    }
-                }
+        } else if slot.valid & bit == 0 {
+            if remote_modified {
+                // The dirty owner writes back and supplies the line;
+                // both copies end Shared.
+                self.traffic.writebacks += 1;
+                self.traffic.interventions += 1;
+                latency += self.spec.writeback_cycles + self.spec.intervention_cycles;
+                transactions += 1;
+                supplied_by_cache = true;
+                // Every Modified holder downgrades to Shared.
+                slot.modified = 0;
+                slot.valid |= bit;
+            } else if remote != 0 {
+                slot.valid |= bit;
+            } else {
+                slot.valid |= bit;
+                slot.exclusive |= bit;
             }
         }
 
@@ -365,17 +563,222 @@ impl CoherenceEngine {
         for _ in 0..transactions {
             extra += self.bus_transaction(now + extra);
         }
-        CoherenceOutcome {
+        CoherenceResult {
             extra_cycles: extra,
-            invalidate_cores,
             coherence_miss,
             supplied_by_cache,
+        }
+    }
+
+    /// Number of cores the directory was built for.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+}
+
+pub mod reference {
+    //! The pre-fast-path coherence engine, retained for differential
+    //! testing: a `BTreeMap` directory with one `Vec<MesiState>` per
+    //! line. Transitions and counters are the original code, so the
+    //! differential suite can demand bit-identical [`CoherenceTraffic`]
+    //! and invalidation sets from the hashed engine.
+
+    use super::{CoherenceOutcome, CoherenceSpec, CoherenceTraffic, MesiState};
+    use crate::spec::CoreId;
+    use std::collections::BTreeMap;
+
+    /// Directory entry: the MESI state each core holds for one line,
+    /// plus which cores have lost their copy to an invalidation and not
+    /// yet re-accessed the line.
+    #[derive(Debug, Clone)]
+    struct LineDir {
+        states: Vec<MesiState>,
+        invalidated: u64,
+    }
+
+    impl LineDir {
+        fn new(num_cores: usize) -> Self {
+            Self {
+                states: vec![MesiState::Invalid; num_cores],
+                invalidated: 0,
+            }
+        }
+    }
+
+    /// The original `BTreeMap`-directory MESI engine.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceEngine {
+        spec: CoherenceSpec,
+        num_cores: usize,
+        lines: BTreeMap<u64, LineDir>,
+        traffic: CoherenceTraffic,
+        snoop_free_at: f64,
+    }
+
+    impl ReferenceEngine {
+        /// Build an engine for a machine with `num_cores` cores.
+        pub fn new(spec: CoherenceSpec, num_cores: usize) -> Self {
+            assert!(
+                num_cores <= 64,
+                "coherence directory tracks at most 64 cores"
+            );
+            Self {
+                spec,
+                num_cores,
+                lines: BTreeMap::new(),
+                traffic: CoherenceTraffic::default(),
+                snoop_free_at: 0.0,
+            }
+        }
+
+        /// Traffic accumulated so far.
+        pub fn traffic(&self) -> CoherenceTraffic {
+            self.traffic
+        }
+
+        /// Return the accumulated traffic and zero the counters.
+        pub fn take_traffic(&mut self) -> CoherenceTraffic {
+            std::mem::take(&mut self.traffic)
+        }
+
+        /// Drop all directory state, traffic and the snoop-bus clock.
+        pub fn reset(&mut self) {
+            self.lines.clear();
+            self.traffic = CoherenceTraffic::default();
+            self.snoop_free_at = 0.0;
+        }
+
+        /// MESI state `core` holds for `phys_line`.
+        pub fn state_of(&self, core: CoreId, phys_line: u64) -> MesiState {
+            self.lines
+                .get(&phys_line)
+                .map_or(MesiState::Invalid, |d| d.states[core])
+        }
+
+        fn bus_transaction(&mut self, now: f64) -> f64 {
+            let start = now.max(self.snoop_free_at);
+            self.snoop_free_at = start + self.spec.bus_occupancy_cycles;
+            (start - now) + self.spec.bus_occupancy_cycles
+        }
+
+        /// Record an access and advance the MESI state machine (original
+        /// per-core-state transition code).
+        pub fn access(
+            &mut self,
+            core: CoreId,
+            phys_line: u64,
+            write: bool,
+            cache_hit: bool,
+            now: f64,
+        ) -> CoherenceOutcome {
+            let num_cores = self.num_cores;
+            let dir = self
+                .lines
+                .entry(phys_line)
+                .or_insert_with(|| LineDir::new(num_cores));
+
+            let was_invalidated = dir.invalidated & (1 << core) != 0;
+            let coherence_miss = !cache_hit && was_invalidated;
+            if !cache_hit {
+                if coherence_miss {
+                    self.traffic.coherence_misses += 1;
+                } else {
+                    self.traffic.capacity_misses += 1;
+                }
+            }
+            dir.invalidated &= !(1 << core);
+
+            let my_state = dir.states[core];
+            let remote: Vec<CoreId> = (0..num_cores)
+                .filter(|&c| c != core && dir.states[c] != MesiState::Invalid)
+                .collect();
+            let remote_modified = remote.iter().any(|&c| dir.states[c] == MesiState::Modified);
+
+            let mut latency = 0.0;
+            let mut transactions = 0u32;
+            let mut invalidate_cores = Vec::new();
+            let mut supplied_by_cache = false;
+
+            if write {
+                match my_state {
+                    MesiState::Modified => {}
+                    MesiState::Exclusive => {
+                        dir.states[core] = MesiState::Modified;
+                    }
+                    MesiState::Shared => {
+                        self.traffic.upgrades += 1;
+                        latency += self.spec.upgrade_cycles;
+                        transactions += 1;
+                        if !remote.is_empty() {
+                            self.traffic.invalidations += remote.len() as u64;
+                            latency += self.spec.invalidate_cycles;
+                            invalidate_cores = remote.clone();
+                        }
+                        dir.states[core] = MesiState::Modified;
+                    }
+                    MesiState::Invalid => {
+                        if remote_modified {
+                            self.traffic.writebacks += 1;
+                            self.traffic.interventions += 1;
+                            latency += self.spec.writeback_cycles + self.spec.intervention_cycles;
+                            transactions += 1;
+                            supplied_by_cache = true;
+                        }
+                        if !remote.is_empty() {
+                            self.traffic.invalidations += remote.len() as u64;
+                            latency += self.spec.invalidate_cycles;
+                            transactions += 1;
+                            invalidate_cores = remote.clone();
+                        }
+                        dir.states[core] = MesiState::Modified;
+                    }
+                }
+                for &c in &invalidate_cores {
+                    dir.states[c] = MesiState::Invalid;
+                    dir.invalidated |= 1 << c;
+                }
+            } else {
+                match my_state {
+                    MesiState::Modified | MesiState::Exclusive | MesiState::Shared => {}
+                    MesiState::Invalid => {
+                        if remote_modified {
+                            self.traffic.writebacks += 1;
+                            self.traffic.interventions += 1;
+                            latency += self.spec.writeback_cycles + self.spec.intervention_cycles;
+                            transactions += 1;
+                            supplied_by_cache = true;
+                            for c in 0..num_cores {
+                                if dir.states[c] == MesiState::Modified {
+                                    dir.states[c] = MesiState::Shared;
+                                }
+                            }
+                            dir.states[core] = MesiState::Shared;
+                        } else if !remote.is_empty() {
+                            dir.states[core] = MesiState::Shared;
+                        } else {
+                            dir.states[core] = MesiState::Exclusive;
+                        }
+                    }
+                }
+            }
+
+            let mut extra = latency;
+            for _ in 0..transactions {
+                extra += self.bus_transaction(now + extra);
+            }
+            CoherenceOutcome {
+                extra_cycles: extra,
+                invalidate_cores,
+                coherence_miss,
+                supplied_by_cache,
+            }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceEngine;
     use super::*;
 
     fn engine() -> CoherenceEngine {
@@ -509,6 +912,12 @@ mod tests {
         e.reset();
         assert_eq!(e.traffic(), CoherenceTraffic::default());
         assert_eq!(e.state_of(0, 7), MesiState::Invalid);
+        assert_eq!(e.tracked_lines(), 0);
+        // The epoch-stamped table is reusable after reset: a line from
+        // the previous epoch reads as untracked and re-inserts cleanly.
+        e.access(0, 7, false, false, 0.0);
+        assert_eq!(e.state_of(0, 7), MesiState::Exclusive);
+        assert_eq!(e.tracked_lines(), 1);
     }
 
     #[test]
@@ -523,5 +932,103 @@ mod tests {
             e.traffic()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Observable outputs are independent of the hash seed: the
+    /// determinism argument no longer leans on sorted iteration.
+    #[test]
+    fn traffic_is_hash_seed_independent() {
+        let run = |seed: u64| {
+            let mut e = CoherenceEngine::with_hash_seed(CoherenceSpec::default(), 8, seed);
+            let mut invalidations = Vec::new();
+            for i in 0..3000u64 {
+                let core = (i % 7) as usize;
+                let line = (i * 17) % 101;
+                let out = e.access(core, line, i % 2 == 0, i % 4 == 0, i as f64);
+                invalidations.push(out.invalidate_cores);
+            }
+            (e.traffic(), invalidations)
+        };
+        let base = run(1);
+        assert_eq!(base, run(0xDEAD_BEEF));
+        assert_eq!(base, run(u64::MAX));
+    }
+
+    /// Growth past the initial capacity preserves every line's state.
+    #[test]
+    fn directory_growth_preserves_state() {
+        let mut e = CoherenceEngine::new(CoherenceSpec::default(), 2);
+        let lines = 4 * super::INITIAL_DIR_CAPACITY as u64;
+        for l in 0..lines {
+            e.access(0, l, l % 2 == 0, false, 0.0);
+        }
+        for l in 0..lines {
+            let want = if l % 2 == 0 {
+                MesiState::Modified
+            } else {
+                MesiState::Exclusive
+            };
+            assert_eq!(e.state_of(0, l), want, "line {l}");
+        }
+        assert_eq!(e.tracked_lines(), lines as usize);
+    }
+
+    /// The hashed engine and the retained BTreeMap engine agree on every
+    /// outcome and the final traffic over a seeded random access stream.
+    #[test]
+    fn differential_against_reference_engine() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xD1FF);
+        for cores in [1usize, 2, 4, 13, 64] {
+            let mut fast = CoherenceEngine::new(CoherenceSpec::default(), cores);
+            let mut slow = ReferenceEngine::new(CoherenceSpec::default(), cores);
+            let mut now = 0.0f64;
+            for _ in 0..5000 {
+                let core = rng.gen_range(0..cores);
+                let line = rng.gen_range(0..512u64);
+                let write = rng.gen_bool(0.5);
+                let hit = rng.gen_bool(0.6);
+                now += rng.gen_range(0.0..10.0);
+                let a = fast.access(core, line, write, hit, now);
+                let b = slow.access(core, line, write, hit, now);
+                assert_eq!(a.extra_cycles.to_bits(), b.extra_cycles.to_bits());
+                assert_eq!(a.invalidate_cores, b.invalidate_cores);
+                assert_eq!(a.coherence_miss, b.coherence_miss);
+                assert_eq!(a.supplied_by_cache, b.supplied_by_cache);
+                for c in 0..cores {
+                    assert_eq!(fast.state_of(c, line), slow.state_of(c, line));
+                }
+            }
+            assert_eq!(fast.traffic(), slow.traffic());
+        }
+    }
+
+    #[test]
+    fn traffic_since_and_plus() {
+        let a = CoherenceTraffic {
+            invalidations: 10,
+            writebacks: 5,
+            interventions: 4,
+            upgrades: 3,
+            coherence_misses: 2,
+            capacity_misses: 1,
+        };
+        let b = CoherenceTraffic {
+            invalidations: 4,
+            writebacks: 5,
+            interventions: 1,
+            upgrades: 0,
+            coherence_misses: 2,
+            capacity_misses: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.invalidations, 6);
+        assert_eq!(d.writebacks, 0);
+        assert_eq!(d.interventions, 3);
+        assert!(!d.is_empty());
+        assert_eq!(b.plus(&d).invalidations, a.invalidations);
+        assert!(CoherenceTraffic::default().is_empty());
+        // Saturating: a stale baseline cannot wrap.
+        assert_eq!(b.since(&a).invalidations, 0);
     }
 }

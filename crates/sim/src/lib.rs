@@ -25,7 +25,12 @@
 //!   is why mcalibrator strides by 1 KB.
 //! * [`machine`] — the cycle engine: single-core traversals and lockstep
 //!   multi-core traversals over the shared cache state, with memory-bus
-//!   serialization.
+//!   serialization. Rewritten for throughput (packed LRU ways, hashed
+//!   MESI directory, block-replay lockstep); results are bit-identical
+//!   to the retained pre-rewrite engine.
+//! * [`mod@reference`] — that retained engine, [`reference::ReferenceMachine`]:
+//!   the original data structures and access loop, kept as the oracle for
+//!   differential tests and the `BENCH_sim` before/after comparison.
 //! * [`membw`] — max-min fair streaming-bandwidth model of the memory
 //!   system, used by the STREAM-like memory overhead benchmark.
 
@@ -36,6 +41,7 @@ pub mod membw;
 pub mod perturb;
 pub mod prefetch;
 pub mod presets;
+pub mod reference;
 pub mod spec;
 pub mod vm;
 
@@ -45,6 +51,7 @@ pub use machine::{Machine, SimArray, TraceJob};
 pub use membw::{maxmin_fair, MemorySystem};
 pub use perturb::{perturb, PerturbConfig};
 pub use prefetch::StridePrefetcher;
+pub use reference::ReferenceMachine;
 pub use spec::{CacheLevelSpec, CoreId, Indexing, MachineSpec, MemResource, MemorySpec};
 pub use vm::{AddressSpace, PageAllocPolicy};
 

@@ -7,6 +7,34 @@
 //! on one core, or on several cores in lockstep so that shared caches see
 //! interleaved access streams and evict each other's lines, exactly the
 //! effect the shared-cache benchmark (paper Fig. 5) measures.
+//!
+//! # The fast path
+//!
+//! Every downstream consumer (zoo sweeps, the false-sharing stage,
+//! `servet-tune`'s trace oracle) bottlenecks on `Machine::access`, so
+//! its constants are hoisted at construction into `LevelParam`s (line
+//! shifts, indexing flags, hit costs) and scalar fields (page shift/mask,
+//! memory latency, coherence line shift): the per-access path does no
+//! spec-struct chasing, no divisions, and no allocation (the coherence
+//! invalidation set lands in a reused scratch vector).
+//!
+//! The lockstep drivers ([`Machine::traverse_shared`], [`Machine::run_traces`])
+//! add a block-replay fast path: unfinished jobs sit in a binary heap
+//! keyed by virtual clock, the earliest job is popped and its accesses
+//! replayed as a *block* until its clock reaches the next-earliest
+//! clock (`heap.peek()`), then it is pushed back. While the job is
+//! strictly minimal the original one-access-per-selection `min_by` scan
+//! would have picked it too — and the heap breaks ties toward the
+//! smallest job index, exactly as `min_by` does — so the access
+//! interleaving, and therefore every counter and every cycle count, is
+//! bit-identical while the dispatch cost drops from O(jobs) per access
+//! to O(log jobs) per block. A read that hits a cache level private to
+//! the accessing core additionally skips the coherence directory — a
+//! provable MESI no-op while at most one shared address space exists
+//! (the skip proof is documented in `Machine::access`). The
+//! pre-fast-path engine is retained as
+//! [`crate::reference::ReferenceMachine`] and the differential suite
+//! holds the two to bit-identical results.
 
 use crate::cache::SetAssocCache;
 use crate::coherence::{CoherenceEngine, CoherenceTraffic};
@@ -31,6 +59,15 @@ pub struct SimArray {
 }
 
 impl SimArray {
+    /// Internal constructor, shared with the reference engine.
+    pub(crate) fn new_raw(aspace: AddressSpace, len: usize, shared: bool) -> Self {
+        Self {
+            aspace,
+            len,
+            shared,
+        }
+    }
+
     /// Array length in bytes.
     pub fn len(&self) -> usize {
         self.len
@@ -106,6 +143,55 @@ pub struct TraceJob<'a> {
     pub steps: &'a [(u64, bool)],
 }
 
+/// Upper bound on cache levels, so the per-access line-key buffer can
+/// live on the stack (real hierarchies stop at 3).
+const MAX_LEVELS: usize = 8;
+
+/// Lockstep-scheduler heap entry. `BinaryHeap` is a max-heap, so the
+/// ordering is inverted: "greater" means *scheduled sooner* — smaller
+/// clock first, ties broken toward the smaller job index. That
+/// tie-break reproduces exactly what the reference engine's
+/// `(0..n).filter(unfinished).min_by(total_cmp)` selects (`min_by`
+/// returns the **first** minimal element), so the heap-driven engine
+/// replays accesses in the identical interleaving at O(log n) per block
+/// instead of two O(n) scans per block.
+#[derive(Debug, Clone, Copy)]
+struct SchedEntry {
+    clock: f64,
+    idx: usize,
+}
+
+impl PartialEq for SchedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for SchedEntry {}
+impl PartialOrd for SchedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SchedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .clock
+            .total_cmp(&self.clock)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Per-cache-level constants hoisted out of the access loop.
+#[derive(Debug, Clone, Copy)]
+struct LevelParam {
+    /// `log2(line_size)`.
+    line_shift: u32,
+    /// Whether the level is virtually indexed.
+    virt: bool,
+    /// Hit latency in cycles.
+    hit_cycles: f64,
+}
+
 /// A simulated shared-memory machine.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -114,18 +200,51 @@ pub struct Machine {
     caches: Vec<Vec<SetAssocCache>>,
     /// `group_of[level][core]` — index into `caches[level]`.
     group_of: Vec<Vec<usize>>,
+    /// Hoisted per-level constants, same order as `caches`.
+    levels: Box<[LevelParam]>,
     prefetchers: Vec<StridePrefetcher>,
     /// Per-core data TLBs (fully associative LRU over `(asid, vpage)`),
     /// when the spec declares one.
     tlbs: Vec<Option<SetAssocCache>>,
     /// Innermost memory resource index for each core, if any.
     bus_of: Vec<Option<usize>>,
+    /// Cycles to move one last-level line across each core's innermost
+    /// bus (0.0 for bus-less cores) — the division is paid once here,
+    /// not per memory access.
+    transfer_cycles: Vec<f64>,
     /// Cycle at which each memory resource becomes free.
     bus_free_at: Vec<f64>,
-    /// Bytes per cycle each memory resource can move.
-    bus_bytes_per_cycle: Vec<f64>,
     /// MESI directory + snoop bus, when the spec enables coherence.
     coherence: Option<CoherenceEngine>,
+    /// `solo[level][core]` — whether `core`'s sharing group at `level`
+    /// is just itself (a private cache instance).
+    solo: Vec<Box<[bool]>>,
+    /// Whether any core has a TLB (skips the per-core Option load on
+    /// TLB-less machines).
+    has_tlb: bool,
+    /// Shared arrays allocated over the machine's lifetime. While at
+    /// most one shared address space exists, a read that hits a level
+    /// private to the accessing core is provably a directory no-op (see
+    /// [`Self::access`]) and the fast path skips the directory probe.
+    /// A second shared aspace could alias the first's physical frames
+    /// (frames are drawn per-aspace from one pool), which would break
+    /// the residency ⇒ valid-bit invariant, so the skip is disabled
+    /// forever once a second shared array exists.
+    shared_aspaces: u64,
+    /// Scratch for coherence invalidation sets (reused, never shrunk).
+    inv_scratch: Vec<CoreId>,
+    /// `log2(page_size)` — translation is a shift, not a division.
+    page_shift: u32,
+    /// `page_size - 1`.
+    page_mask: u64,
+    /// Memory latency in cycles.
+    mem_latency: f64,
+    /// First-level hit cost (1.0 when the spec has no caches).
+    l1_hit_cycles: f64,
+    /// Line shift of the coherence granularity (first cache level).
+    coh_line_shift: u32,
+    /// TLB miss penalty (0.0 without a TLB).
+    tlb_miss_cycles: f64,
     next_asid: u64,
     seed: u64,
 }
@@ -140,6 +259,14 @@ impl Machine {
     /// Build a machine with an explicit RNG seed for page allocation.
     pub fn with_seed(spec: MachineSpec, seed: u64) -> Self {
         spec.validate().expect("invalid machine spec");
+        assert!(
+            spec.page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            spec.caches.len() <= MAX_LEVELS,
+            "at most {MAX_LEVELS} cache levels supported"
+        );
         let mut caches = Vec::new();
         let mut group_of = Vec::new();
         for cl in &spec.caches {
@@ -157,13 +284,33 @@ impl Machine {
             caches.push(instances);
             group_of.push(map);
         }
+        let solo: Vec<Box<[bool]>> = spec
+            .caches
+            .iter()
+            .map(|cl| {
+                let mut s = vec![false; spec.num_cores].into_boxed_slice();
+                for group in cl.sharing.iter().filter(|g| g.len() == 1) {
+                    s[group[0]] = true;
+                }
+                s
+            })
+            .collect();
+        let levels: Box<[LevelParam]> = spec
+            .caches
+            .iter()
+            .map(|cl| LevelParam {
+                line_shift: cl.line_size.trailing_zeros(),
+                virt: matches!(cl.indexing, Indexing::Virtual),
+                hit_cycles: cl.hit_cycles,
+            })
+            .collect();
         let prefetchers = (0..spec.num_cores)
             .map(|_| StridePrefetcher::new(spec.prefetch_max_stride))
             .collect();
         let tlbs = (0..spec.num_cores)
             .map(|_| spec.tlb.map(|t| SetAssocCache::new(1, t.entries)))
             .collect();
-        let bus_of = (0..spec.num_cores)
+        let bus_of: Vec<Option<usize>> = (0..spec.num_cores)
             .map(|c| {
                 spec.memory
                     .resources
@@ -171,26 +318,52 @@ impl Machine {
                     .position(|r| r.cores.contains(&c))
             })
             .collect();
-        let bus_bytes_per_cycle = spec
+        let bus_bytes_per_cycle: Vec<f64> = spec
             .memory
             .resources
             .iter()
             .map(|r| r.capacity_gbs / spec.clock_ghz)
             .collect();
+        let last_line = spec.caches.last().map_or(64, |c| c.line_size) as f64;
+        let transfer_cycles = bus_of
+            .iter()
+            .map(|b| b.map_or(0.0, |bus| last_line / bus_bytes_per_cycle[bus]))
+            .collect();
         let bus_free_at = vec![0.0; spec.memory.resources.len()];
         let coherence = spec
             .coherence
             .map(|c| CoherenceEngine::new(c, spec.num_cores));
+        let page_shift = spec.page_size.trailing_zeros();
+        let page_mask = spec.page_size as u64 - 1;
+        let mem_latency = spec.memory.latency_cycles;
+        let l1_hit_cycles = spec.caches.first().map_or(1.0, |c| c.hit_cycles);
+        let coh_line_shift = spec
+            .caches
+            .first()
+            .map_or(6, |c| c.line_size.trailing_zeros());
+        let tlb_miss_cycles = spec.tlb.map_or(0.0, |t| t.miss_cycles);
+        let has_tlb = spec.tlb.is_some();
         Self {
             spec,
             caches,
             group_of,
+            levels,
             prefetchers,
             tlbs,
             bus_of,
+            transfer_cycles,
             bus_free_at,
-            bus_bytes_per_cycle,
             coherence,
+            solo,
+            has_tlb,
+            shared_aspaces: 0,
+            inv_scratch: Vec::with_capacity(64),
+            page_shift,
+            page_mask,
+            mem_latency,
+            l1_hit_cycles,
+            coh_line_shift,
+            tlb_miss_cycles,
             next_asid: 1,
             seed,
         }
@@ -231,10 +404,12 @@ impl Machine {
     pub fn alloc_shared_array(&mut self, len_bytes: usize) -> SimArray {
         let mut arr = self.alloc_array(len_bytes);
         arr.shared = true;
+        self.shared_aspaces += 1;
         arr
     }
 
-    /// Flush every cache, reset prefetchers and bus clocks.
+    /// Flush every cache, reset prefetchers and bus clocks. The
+    /// coherence directory resets by epoch stamp (O(1)).
     pub fn reset(&mut self) {
         for level in &mut self.caches {
             for c in level {
@@ -267,15 +442,14 @@ impl Machine {
         self.coherence.as_mut().map(|e| e.take_traffic())
     }
 
-    /// Line key for `level`: physical caches key on the physical line,
+    /// Line key for a level: physical caches key on the physical line,
     /// virtual ones on `(asid, virtual line)`.
-    #[inline]
-    fn line_key(&self, level: usize, aspace: &AddressSpace, vaddr: u64, paddr: u64) -> u64 {
-        let cl = &self.spec.caches[level];
-        let line_shift = cl.line_size.trailing_zeros();
-        match cl.indexing {
-            Indexing::Physical => paddr >> line_shift,
-            Indexing::Virtual => (aspace.asid() << 40) | (vaddr >> line_shift),
+    #[inline(always)]
+    fn level_key(lp: &LevelParam, asid_tag: u64, vaddr: u64, paddr: u64) -> u64 {
+        if lp.virt {
+            asid_tag | (vaddr >> lp.line_shift)
+        } else {
+            paddr >> lp.line_shift
         }
     }
 
@@ -284,6 +458,7 @@ impl Machine {
     /// handled by the caller, which owns the per-core clocks; snoop-bus
     /// serialization happens here, against `now` (the accessing core's
     /// virtual clock).
+    #[inline]
     fn access(
         &mut self,
         core: CoreId,
@@ -293,22 +468,33 @@ impl Machine {
         now: f64,
     ) -> (f64, bool) {
         let aspace = array.aspace();
-        let paddr = aspace.translate(vaddr);
-        // Translation first: a TLB miss costs extra regardless of where
-        // the data itself is found.
+        // Translation is a shift/mask: pages are power-of-two sized and
+        // `frames[vpage] * page_size` has no low bits set.
+        let vpage = (vaddr >> self.page_shift) as usize;
+        let paddr = (aspace.frame_of(vpage) << self.page_shift) | (vaddr & self.page_mask);
+        let asid_tag = aspace.asid() << 40;
+        // Translation cost first: a TLB miss costs extra regardless of
+        // where the data itself is found.
         let mut tlb_penalty = 0.0;
-        if let (Some(tlb), Some(spec)) = (self.tlbs[core].as_mut(), self.spec.tlb) {
-            let key = (aspace.asid() << 40) | (vaddr / self.spec.page_size as u64);
-            if !tlb.probe(key) {
-                tlb.insert(key);
-                tlb_penalty = spec.miss_cycles;
+        if self.has_tlb {
+            if let Some(tlb) = self.tlbs[core].as_mut() {
+                let key = asid_tag | (vaddr >> self.page_shift);
+                if !tlb.probe(key) {
+                    tlb.fill(key);
+                    tlb_penalty = self.tlb_miss_cycles;
+                }
             }
         }
         let covered = self.prefetchers[core].access(vaddr);
-        let nlev = self.spec.caches.len();
+        let nlev = self.levels.len();
+        // Line keys per level, computed once: the probe loop, the
+        // invalidation walk and the fill loop all reuse them.
+        let mut keys = [0u64; MAX_LEVELS];
+        for (li, lp) in self.levels.iter().enumerate() {
+            keys[li] = Self::level_key(lp, asid_tag, vaddr, paddr);
+        }
         let mut hit_level = nlev; // nlev = memory
-        for li in 0..nlev {
-            let key = self.line_key(li, aspace, vaddr, paddr);
+        for (li, &key) in keys.iter().enumerate().take(nlev) {
             let g = self.group_of[li][core];
             if self.caches[li][g].probe(key) {
                 hit_level = li;
@@ -321,41 +507,54 @@ impl Machine {
         // the pre-coherence stages time out bit-identically.
         let mut coh_extra = 0.0;
         let mut supplied_by_cache = false;
-        if array.is_shared() && self.coherence.is_some() {
-            let line_shift = self
-                .spec
-                .caches
-                .first()
-                .map_or(6, |c| c.line_size.trailing_zeros());
-            let phys_line = paddr >> line_shift;
-            let outcome = self.coherence.as_mut().expect("checked above").access(
-                core,
-                phys_line,
-                write,
-                hit_level < nlev,
-                now,
-            );
-            coh_extra = outcome.extra_cycles;
-            supplied_by_cache = outcome.supplied_by_cache;
-            // Physically remove invalidated copies from every cache
-            // instance the victims do not share with the writer. The
-            // victims see the same address space (shared array), so the
-            // writer's line keys are theirs too.
-            for &victim in &outcome.invalidate_cores {
-                for li in 0..nlev {
-                    let gv = self.group_of[li][victim];
-                    if gv != self.group_of[li][core] {
-                        let key = self.line_key(li, aspace, vaddr, paddr);
-                        self.caches[li][gv].invalidate(key);
+        // Read-hit directory skip: a read that hits a level *private* to
+        // this core proves the core already holds a valid copy, so the
+        // directory access would be a strict no-op (no state change, no
+        // traffic, zero extra cycles — MESI reads of a held line are
+        // silent). The proof needs line residency to imply the valid
+        // bit, which holds while at most one shared address space
+        // exists (see `shared_aspaces`): every invalidation then removes
+        // exactly the victim's resident keys, so a stale resident copy
+        // is impossible. The retained reference engine always probes its
+        // directory and the differential suite holds the two engines to
+        // identical traffic and cycles, skip included.
+        let skip_directory =
+            !write && hit_level < nlev && self.shared_aspaces <= 1 && self.solo[hit_level][core];
+        if array.shared && !skip_directory {
+            if let Some(engine) = self.coherence.as_mut() {
+                let phys_line = paddr >> self.coh_line_shift;
+                let res = engine.access_into(
+                    core,
+                    phys_line,
+                    write,
+                    hit_level < nlev,
+                    now,
+                    &mut self.inv_scratch,
+                );
+                coh_extra = res.extra_cycles;
+                supplied_by_cache = res.supplied_by_cache;
+                // Physically remove invalidated copies from every cache
+                // instance the victims do not share with the writer. The
+                // victims see the same address space (shared array), so
+                // the writer's line keys are theirs too.
+                for k in 0..self.inv_scratch.len() {
+                    let victim = self.inv_scratch[k];
+                    for (li, &key) in keys.iter().enumerate().take(nlev) {
+                        let gv = self.group_of[li][victim];
+                        if gv != self.group_of[li][core] {
+                            self.caches[li][gv].invalidate(key);
+                        }
                     }
                 }
             }
         }
-        // Fill the line into every level above the hit level.
-        for li in 0..hit_level {
-            let key = self.line_key(li, aspace, vaddr, paddr);
+        // Fill the line into every level above the hit level. The probe
+        // loop just missed these levels and invalidations only touched
+        // *other* sharing groups, so the line is provably absent:
+        // `fill` skips `insert`'s residency re-scan.
+        for (li, &key) in keys.iter().enumerate().take(hit_level) {
             let g = self.group_of[li][core];
-            self.caches[li][g].insert(key);
+            self.caches[li][g].fill(key);
         }
         if hit_level == nlev {
             if covered || supplied_by_cache {
@@ -363,29 +562,16 @@ impl Machine {
                 // or supplied cache-to-cache by the previous owner. The
                 // demand access costs an L1 hit plus any coherence
                 // transactions.
-                let l1 = self.spec.caches.first().map_or(1.0, |c| c.hit_cycles);
-                (l1 + tlb_penalty + coh_extra, false)
+                (self.l1_hit_cycles + tlb_penalty + coh_extra, false)
             } else {
-                (
-                    self.spec.memory.latency_cycles + tlb_penalty + coh_extra,
-                    true,
-                )
+                (self.mem_latency + tlb_penalty + coh_extra, true)
             }
         } else {
             (
-                self.spec.caches[hit_level].hit_cycles + tlb_penalty + coh_extra,
+                self.levels[hit_level].hit_cycles + tlb_penalty + coh_extra,
                 false,
             )
         }
-    }
-
-    /// Cycles to move one last-level line across `core`'s bus.
-    fn line_transfer_cycles(&self, core: CoreId) -> f64 {
-        let Some(bus) = self.bus_of[core] else {
-            return 0.0;
-        };
-        let line = self.spec.caches.last().map_or(64, |c| c.line_size) as f64;
-        line / self.bus_bytes_per_cycle[bus]
     }
 
     /// Run `warmup` un-measured passes followed by `passes` measured passes
@@ -470,33 +656,51 @@ impl Machine {
         let mut clock = vec![0.0f64; n];
         let mut done = vec![0usize; n];
         let mut measure_start = vec![0.0f64; n];
-        // Lockstep: always advance the most-behind unfinished job.
-        loop {
-            let Some(i) = (0..n)
-                .filter(|&i| done[i] < total[i])
-                .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
-            else {
-                break;
-            };
+        // Lockstep: always advance the most-behind unfinished job,
+        // block-replaying it while it stays strictly most-behind. The
+        // heap pops exactly the job the reference engine's linear
+        // `min_by` scan would pick (see [`SchedEntry`]); peeking the
+        // next entry gives the block's replay limit for free.
+        let mut heap: std::collections::BinaryHeap<SchedEntry> =
+            (0..n).map(|idx| SchedEntry { clock: 0.0, idx }).collect();
+        while let Some(SchedEntry { idx: i, .. }) = heap.pop() {
+            let limit = heap.peek().map_or(f64::INFINITY, |e| e.clock);
             let job = &jobs[i];
-            let idx = done[i] % job.count;
-            let vaddr = (job.offset + idx * job.stride) as u64;
-            let (cost, mem) = self.access(job.core, job.array, vaddr, job.write, clock[i]);
-            if mem {
-                if let Some(bus) = self.bus_of[job.core] {
-                    let transfer = self.line_transfer_cycles(job.core);
-                    let start = clock[i].max(self.bus_free_at[bus]);
-                    self.bus_free_at[bus] = start + transfer;
-                    clock[i] = start + transfer + cost;
+            let bus = self.bus_of[job.core];
+            let transfer = self.transfer_cycles[job.core];
+            let mut idx = done[i] % job.count;
+            loop {
+                let vaddr = (job.offset + idx * job.stride) as u64;
+                let (cost, mem) = self.access(job.core, job.array, vaddr, job.write, clock[i]);
+                if mem {
+                    if let Some(bus) = bus {
+                        let start = clock[i].max(self.bus_free_at[bus]);
+                        self.bus_free_at[bus] = start + transfer;
+                        clock[i] = start + transfer + cost;
+                    } else {
+                        clock[i] += cost;
+                    }
                 } else {
                     clock[i] += cost;
                 }
-            } else {
-                clock[i] += cost;
-            }
-            done[i] += 1;
-            if done[i] == warm[i] {
-                measure_start[i] = clock[i];
+                done[i] += 1;
+                idx += 1;
+                if idx == job.count {
+                    idx = 0;
+                }
+                if done[i] == warm[i] {
+                    measure_start[i] = clock[i];
+                }
+                if done[i] >= total[i] {
+                    break;
+                }
+                if clock[i] >= limit {
+                    heap.push(SchedEntry {
+                        clock: clock[i],
+                        idx: i,
+                    });
+                    break;
+                }
             }
         }
         (0..n)
@@ -517,11 +721,12 @@ impl Machine {
         assert!(!addrs.is_empty(), "empty trace");
         let mut clock = 0.0f64;
         let mut bus_free = self.bus_free_at.clone();
+        let core_bus = self.bus_of[core];
+        let transfer = self.transfer_cycles[core];
         for &vaddr in addrs {
             let (cost, mem) = self.access(core, array, vaddr, false, clock);
             if mem {
-                if let Some(bus) = self.bus_of[core] {
-                    let transfer = self.line_transfer_cycles(core);
+                if let Some(bus) = core_bus {
                     let start = clock.max(bus_free[bus]);
                     bus_free[bus] = start + transfer;
                     clock = start + transfer + cost;
@@ -551,31 +756,44 @@ impl Machine {
             assert!(j.core < self.spec.num_cores, "core out of range");
         }
         let n = jobs.len();
+        let total: Vec<usize> = jobs.iter().map(|j| j.steps.len()).collect();
         let mut clock = vec![0.0f64; n];
         let mut done = vec![0usize; n];
-        loop {
-            let Some(i) = (0..n)
-                .filter(|&i| done[i] < jobs[i].steps.len())
-                .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
-            else {
-                break;
-            };
+        // Same heap-driven lockstep as [`Self::traverse_shared`]: pop
+        // order is bit-identical to the reference engine's linear scan.
+        let mut heap: std::collections::BinaryHeap<SchedEntry> =
+            (0..n).map(|idx| SchedEntry { clock: 0.0, idx }).collect();
+        while let Some(SchedEntry { idx: i, .. }) = heap.pop() {
+            let limit = heap.peek().map_or(f64::INFINITY, |e| e.clock);
             let job = &jobs[i];
-            let (vaddr, write) = job.steps[done[i]];
-            let (cost, mem) = self.access(job.core, job.array, vaddr, write, clock[i]);
-            if mem {
-                if let Some(bus) = self.bus_of[job.core] {
-                    let transfer = self.line_transfer_cycles(job.core);
-                    let start = clock[i].max(self.bus_free_at[bus]);
-                    self.bus_free_at[bus] = start + transfer;
-                    clock[i] = start + transfer + cost;
+            let bus = self.bus_of[job.core];
+            let transfer = self.transfer_cycles[job.core];
+            loop {
+                let (vaddr, write) = job.steps[done[i]];
+                let (cost, mem) = self.access(job.core, job.array, vaddr, write, clock[i]);
+                if mem {
+                    if let Some(bus) = bus {
+                        let start = clock[i].max(self.bus_free_at[bus]);
+                        self.bus_free_at[bus] = start + transfer;
+                        clock[i] = start + transfer + cost;
+                    } else {
+                        clock[i] += cost;
+                    }
                 } else {
                     clock[i] += cost;
                 }
-            } else {
-                clock[i] += cost;
+                done[i] += 1;
+                if done[i] >= total[i] {
+                    break;
+                }
+                if clock[i] >= limit {
+                    heap.push(SchedEntry {
+                        clock: clock[i],
+                        idx: i,
+                    });
+                    break;
+                }
             }
-            done[i] += 1;
         }
         clock
     }

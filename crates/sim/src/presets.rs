@@ -394,6 +394,64 @@ pub fn tiny_with_tlb() -> MachineSpec {
     spec
 }
 
+/// A 4-core machine with a megabyte-range hierarchy: private 32 KB L1,
+/// 2 MB L2 shared by core pairs, 4 KB pages — paper-machine geometry at
+/// test-suite core counts.
+///
+/// This is the first MB-range zoo member: a full mcalibrator sweep over
+/// a 2 MB L2 replays tens of millions of simulated accesses, which the
+/// pre-rewrite engine could not afford in CI. Its cache sizes sit where
+/// the paper's Dempsey L2 does, so the Fig. 2/Fig. 3 smearing-and-
+/// recovery story plays out at real scale instead of the tiny presets'.
+pub fn mb_smp() -> MachineSpec {
+    let cores = 4;
+    MachineSpec {
+        name: "mb_smp".into(),
+        clock_ghz: 2.4,
+        num_cores: cores,
+        page_size: 4 * KB,
+        caches: vec![
+            CacheLevelSpec {
+                level: 1,
+                size: 32 * KB,
+                line_size: 64,
+                associativity: 8,
+                indexing: Indexing::Virtual,
+                sharing: private(cores),
+                hit_cycles: 3.0,
+            },
+            CacheLevelSpec {
+                level: 2,
+                size: 2 * MB,
+                line_size: 64,
+                associativity: 8,
+                indexing: Indexing::Physical,
+                sharing: consecutive_groups(cores, 2),
+                hit_cycles: 14.0,
+            },
+        ],
+        memory: MemorySpec {
+            latency_cycles: 250.0,
+            core_stream_gbs: 3.0,
+            resources: vec![MemResource {
+                name: "fsb".into(),
+                capacity_gbs: 5.0,
+                cores: (0..cores).collect(),
+            }],
+        },
+        page_alloc: PageAllocPolicy::Random,
+        prefetch_max_stride: 512,
+        tlb: None,
+        coherence: Some(CoherenceSpec {
+            invalidate_cycles: 25.0,
+            writeback_cycles: 80.0,
+            intervention_cycles: 55.0,
+            upgrade_cycles: 20.0,
+            bus_occupancy_cycles: 6.0,
+        }),
+    }
+}
+
 /// All four paper machines, in the order the paper introduces them.
 pub fn paper_machines() -> Vec<MachineSpec> {
     vec![dunnington(), finis_terrae_node(), dempsey(), athlon3200()]
@@ -440,6 +498,14 @@ mod tests {
         let m = tiny_numa();
         m.validate().unwrap();
         assert_eq!(m.memory.resources.len(), 4 + 2);
+    }
+
+    #[test]
+    fn mb_smp_is_mb_range_and_valid() {
+        let m = mb_smp();
+        m.validate().unwrap();
+        assert!(m.caches.iter().any(|c| c.size >= MB));
+        assert_eq!(m.sharing_pairs(2), vec![(0, 1), (2, 3)]);
     }
 
     #[test]

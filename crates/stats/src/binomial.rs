@@ -29,7 +29,7 @@
 pub fn ln_gamma(x: f64) -> f64 {
     // Coefficients for the Lanczos approximation with g = 7.
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
         771.323_428_777_653_1,

@@ -108,11 +108,12 @@ fn print_help() {
          \x20 servet query advise <threads|tile|bcast|padding> --key KEY [flags] [--json] [--addr A]\n\
          \x20 servet query tune --key KEY [--strategy S] [--n N] [tune flags] [--json] [--addr A]\n\
          \x20 servet query stats [--json] [--addr A]\n\
-         \x20 servet zoo [--machines N] [--workers N] [--seed S] [--out FILE]\n\
+         \x20 servet zoo [--machines N] [--mb N] [--workers N] [--seed S] [--out FILE]\n\
          \x20            [--addr HOST:PORT | --dir DIR | --no-stream]\n\
          \x20                                                    measure a population of perturbed\n\
-         \x20                                                    machines, stream profiles to a\n\
-         \x20                                                    registry, score detection accuracy\n\
+         \x20                                                    machines (plus N MB-range ones),\n\
+         \x20                                                    stream profiles to a registry,\n\
+         \x20                                                    score detection accuracy\n\
          \x20 servet loadgen [--addr A] [--conns N] [--ops N] [--op-workers N]\n\
          \x20                [--mode closed|open --rate R] [--hold-ms N] [--out FILE]\n\
          \x20                [--check] [--max-p99-ms N] [--seed S]\n\
@@ -1055,9 +1056,14 @@ fn cmd_zoo(args: &[String]) -> i32 {
         Some(addr)
     };
 
-    let config = ZooConfig::new(machines, workers, seed);
+    let mb: usize = flag_value(args, "--mb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut config = ZooConfig::new(machines, workers, seed);
+    config.mb_machines = mb;
     eprintln!(
-        "zoo: measuring {machines} machines (seed {seed}) on {} worker(s) ...",
+        "zoo: measuring {} machines ({machines} standard + {mb} MB-range, seed {seed}) on {} worker(s) ...",
+        config.population_size(),
         config.workers.max(1)
     );
     let report = match run_zoo(&config, |worker| {

@@ -90,6 +90,50 @@ fn sixty_four_machine_zoo_hits_the_accuracy_bar() {
     assert!(report.stage_times.contains_key("false_sharing"));
 }
 
+/// The MB-range member (ISSUE 10): a perturbed `mb_smp` — 32 KB L1 over
+/// a 2 MB shared L2 — runs the full zoo suite with the wide mcalibrator
+/// sweep. Affordable only on the packed fast-path engine; the generous
+/// wall-clock bound is there to catch a throughput regression that would
+/// make MB-range sweeps unaffordable again, not to time the machine.
+#[test]
+fn mb_range_machine_completes_its_sweep_within_budget() {
+    let mut cfg = ZooConfig::new(0, 1, 42);
+    cfg.mb_machines = 1;
+    let start = std::time::Instant::now();
+    let report = run_zoo(&cfg, |_| Ok(None)).unwrap();
+    let wall = start.elapsed();
+
+    assert_eq!(report.machines, 1);
+    let row = &report.per_machine[0];
+    assert_eq!(row.base, "mb_smp");
+    assert_eq!(row.eval.true_levels, 2);
+    assert!(
+        row.eval
+            .level_sizes
+            .iter()
+            .any(|(_, true_size, _)| *true_size >= 1024 * 1024),
+        "perturbed mb_smp lost its MB-range level: {:?}",
+        row.eval.level_sizes
+    );
+    // The sweep must actually produce its stage-time lines — the
+    // cache-size row is the expensive one, and the coherence extension
+    // must have run too.
+    assert!(
+        report.stage_times.contains_key("cache_size"),
+        "no cache_size stage-time line: {:?}",
+        report.stage_times.keys().collect::<Vec<_>>()
+    );
+    assert!(report.stage_times.contains_key("false_sharing"));
+    assert!(
+        row.timings.cache_size_s > 0.0,
+        "cache-size sweep reported zero virtual time"
+    );
+    assert!(
+        wall < Duration::from_secs(120),
+        "MB-range sweep took {wall:?} — fast-path regression?"
+    );
+}
+
 /// The sink the `servet zoo` CLI uses, reduced to its essentials: each
 /// worker owns a retrying client and puts every measured profile under
 /// the machine's (unique) perturbed name.
